@@ -1,0 +1,213 @@
+package mdn
+
+// One testing.B benchmark per paper figure/claim (the same runners
+// cmd/mdnbench uses), plus ablation benches for the design choices
+// DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"math"
+	"testing"
+
+	"mdn/internal/audio"
+	"mdn/internal/core"
+	"mdn/internal/dsp"
+	"mdn/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r := e.Run(); !r.Pass() {
+			b.Fatalf("%s failed shape checks", id)
+		}
+	}
+}
+
+func BenchmarkFig2aSwitchIdentification(b *testing.B) { benchExperiment(b, "fig2a") }
+func BenchmarkFig2bFFTLatency(b *testing.B)           { benchExperiment(b, "fig2b") }
+func BenchmarkFig3PortKnocking(b *testing.B)          { benchExperiment(b, "fig3") }
+func BenchmarkFig4aHeavyHitter(b *testing.B)          { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bHeavyHitterNoisy(b *testing.B)     { benchExperiment(b, "fig4b") }
+func BenchmarkFig4cPortScan(b *testing.B)             { benchExperiment(b, "fig4c") }
+func BenchmarkFig4dPortScanNoisy(b *testing.B)        { benchExperiment(b, "fig4d") }
+func BenchmarkFig5LoadBalancing(b *testing.B)         { benchExperiment(b, "fig5ab") }
+func BenchmarkFig5QueueMonitoring(b *testing.B)       { benchExperiment(b, "fig5cd") }
+func BenchmarkFig6FanSpectrograms(b *testing.B)       { benchExperiment(b, "fig6") }
+func BenchmarkFig7FanFailureDetection(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkSec3FrequencySpacing(b *testing.B)      { benchExperiment(b, "sec3-spacing") }
+func BenchmarkSec3ToneDuration(b *testing.B)          { benchExperiment(b, "sec3-duration") }
+func BenchmarkSec5FrequencyCapacity(b *testing.B)     { benchExperiment(b, "sec5-capacity") }
+func BenchmarkExtFailover(b *testing.B)               { benchExperiment(b, "ext-failover") }
+func BenchmarkExtSuperspreader(b *testing.B)          { benchExperiment(b, "ext-superspreader") }
+func BenchmarkExtRelay(b *testing.B)                  { benchExperiment(b, "ext-relay") }
+func BenchmarkExtCongestion(b *testing.B)             { benchExperiment(b, "ext-congestion") }
+func BenchmarkExtUltrasound(b *testing.B)             { benchExperiment(b, "ext-ultrasound") }
+func BenchmarkExtMicArray(b *testing.B)               { benchExperiment(b, "ext-micarray") }
+func BenchmarkExtFanAnomaly(b *testing.B)             { benchExperiment(b, "ext-fananomaly") }
+func BenchmarkExtFanDistance(b *testing.B)            { benchExperiment(b, "ext-fandistance") }
+func BenchmarkExtHeartbeat(b *testing.B)              { benchExperiment(b, "ext-heartbeat") }
+func BenchmarkExtControlLatency(b *testing.B)         { benchExperiment(b, "ext-latency") }
+
+// --- Ablation benches -------------------------------------------------
+
+// detectionWindow synthesizes the standard 50 ms capture with three
+// active tones for the detector ablations.
+func detectionWindow() *audio.Buffer {
+	return audio.Chord(44100,
+		audio.Tone{Frequency: 520, Duration: 0.05, Amplitude: 0.02},
+		audio.Tone{Frequency: 840, Duration: 0.05, Amplitude: 0.02},
+		audio.Tone{Frequency: 1160, Duration: 0.05, Amplitude: 0.02},
+	)
+}
+
+// BenchmarkAblationDetectorMethod compares the Goertzel bank against
+// the full FFT across watch-list sizes — the crossover justifies the
+// controller's method choice.
+func BenchmarkAblationDetectorMethod(b *testing.B) {
+	buf := detectionWindow()
+	for _, n := range []int{3, 12, 48, 192} {
+		watch := make([]float64, n)
+		for i := range watch {
+			watch[i] = 400 + 20*float64(i)
+		}
+		for _, m := range []Method{MethodGoertzel, MethodFFT} {
+			det := NewDetector(m, watch)
+			b.Run(m.String()+"-watch-"+itoa(n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					det.Detect(buf, 0)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationWindowFunction measures adjacent-tone leakage
+// suppression cost: Hann vs rectangular analysis of the same block.
+func BenchmarkAblationWindowFunction(b *testing.B) {
+	buf := detectionWindow()
+	for _, w := range []dsp.Window{dsp.Rectangular, dsp.Hann, dsp.Blackman} {
+		b.Run(w.String(), func(b *testing.B) {
+			work := make([]float64, buf.Len())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(work, buf.Samples)
+				w.Apply(work)
+				spec := dsp.FFTReal(work)
+				_ = dsp.Magnitudes(spec)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWindowLength sweeps the controller's analysis
+// window: shorter windows cut latency but lose frequency resolution.
+func BenchmarkAblationWindowLength(b *testing.B) {
+	for _, ms := range []int{25, 50, 100, 200} {
+		dur := float64(ms) / 1000
+		tone := audio.Tone{Frequency: 700, Duration: dur, Amplitude: 0.02}.Render(44100)
+		det := NewDetector(MethodGoertzel, []float64{660, 680, 700, 720, 740})
+		b.Run("window-"+itoa(ms)+"ms", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				det.Detect(tone, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkAcousticCapture measures the cost of rendering one
+// controller window from a busy room (10 emitters + noise).
+func BenchmarkAcousticCapture(b *testing.B) {
+	tb := NewTestbed(99)
+	for i := 0; i < 10; i++ {
+		_, v := tb.AddVoicedSwitch("s"+itoa(i), 1+float64(i)*0.3, 0)
+		f := 400 + float64(i)*80
+		tb.Sim.Schedule(0.1, func() { v.Play(f) })
+	}
+	tb.Room.AddNoise(core.PopSongNoise(44100, 2, 0.02, 5))
+	tb.Sim.RunUntil(0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Mic.Capture(0.1, 0.15)
+	}
+}
+
+// BenchmarkGoertzelSingleBin is the detector's hot inner loop.
+func BenchmarkGoertzelSingleBin(b *testing.B) {
+	buf := detectionWindow()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dsp.Goertzel(buf.Samples, 840, 44100)
+	}
+}
+
+// BenchmarkMelSpectrogram measures the Figure 6-style analysis path.
+func BenchmarkMelSpectrogram(b *testing.B) {
+	fan := audio.DefaultFan(0.3, 1).Render(44100, 1)
+	bank := dsp.NewMelFilterBank(64, 4096, 44100, 50, 8000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sg := dsp.STFT(fan.Samples, 44100, 4096, 2048, dsp.Hann)
+		_ = sg.Mel(bank)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// TestFacadeSmoke exercises the public facade end to end: a voiced
+// switch plays a tone and the controller hears it.
+func TestFacadeSmoke(t *testing.T) {
+	tb := NewTestbed(1)
+	_, voice := tb.AddVoicedSwitch("s1", 1, 0)
+	freqs := tb.Plan.MustAllocate("s1", 1)
+	ctrl := tb.NewController(freqs)
+	var heard []Detection
+	ctrl.Subscribe(func(d Detection) { heard = append(heard, d) })
+	ctrl.Start(0)
+	tb.Sim.Schedule(0.3, func() { voice.Play(freqs[0]) })
+	tb.Sim.RunUntil(1)
+	if len(heard) == 0 {
+		t.Fatal("facade controller heard nothing")
+	}
+	if math.Abs(heard[0].Frequency-freqs[0]) > 1e-9 {
+		t.Errorf("heard %g, want %g", heard[0].Frequency, freqs[0])
+	}
+}
+
+// TestItoa covers the local formatter.
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 42: "42", -3: "-3", 1000: "1000"}
+	for n, want := range cases {
+		if got := itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q", n, got)
+		}
+	}
+}

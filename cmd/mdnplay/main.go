@@ -1,0 +1,180 @@
+// Command mdnplay is a small studio for the MDN sound toolchain:
+// synthesize tones, songs, fans and ambiences to WAV files, and
+// inspect WAV files with the FFT (peaks and a coarse spectrogram).
+//
+// Usage:
+//
+//	mdnplay tone -freq 700 -dur 0.5 -o tone.wav
+//	mdnplay song -dur 5 -o song.wav
+//	mdnplay fan -dur 3 -ambience datacenter -o fan.wav
+//	mdnplay analyze -i tone.wav
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mdn/internal/acoustic"
+	"mdn/internal/audio"
+	"mdn/internal/dsp"
+	"mdn/internal/viz"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "tone":
+		err = cmdTone(os.Args[2:])
+	case "song":
+		err = cmdSong(os.Args[2:])
+	case "fan":
+		err = cmdFan(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "spectro":
+		err = cmdSpectro(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdnplay:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mdnplay <tone|song|fan|analyze> [flags]
+  tone     synthesize a pure tone        (-freq -dur -spl -o)
+  song     synthesize the pop-song noise (-dur -seed -o)
+  fan      synthesize a server fan       (-dur -ambience -seed -o)
+  analyze  FFT-analyze a WAV file        (-i -top)
+  spectro  ASCII mel spectrogram of WAV  (-i -bands -rows -max)`)
+}
+
+func writeWAV(path string, b *audio.Buffer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := audio.EncodeWAV(f, b); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %.2f s at %.0f Hz, peak %.3f\n",
+		path, b.Duration(), b.SampleRate, b.Peak())
+	return nil
+}
+
+func cmdTone(args []string) error {
+	fs := flag.NewFlagSet("tone", flag.ExitOnError)
+	freq := fs.Float64("freq", 700, "frequency in Hz")
+	dur := fs.Float64("dur", 0.5, "duration in seconds")
+	spl := fs.Float64("spl", 60, "intensity in dB SPL at 1 m")
+	out := fs.String("o", "tone.wav", "output WAV path")
+	fs.Parse(args)
+	tone := audio.Tone{Frequency: *freq, Duration: *dur, Amplitude: acoustic.SPLToAmplitude(*spl)}
+	return writeWAV(*out, tone.Render(audio.DefaultSampleRate))
+}
+
+func cmdSong(args []string) error {
+	fs := flag.NewFlagSet("song", flag.ExitOnError)
+	dur := fs.Float64("dur", 5, "duration in seconds")
+	seed := fs.Int64("seed", 1, "melodic walk seed")
+	out := fs.String("o", "song.wav", "output WAV path")
+	fs.Parse(args)
+	return writeWAV(*out, audio.PopSong(0.5, *seed).Render(audio.DefaultSampleRate, *dur))
+}
+
+func cmdFan(args []string) error {
+	fs := flag.NewFlagSet("fan", flag.ExitOnError)
+	dur := fs.Float64("dur", 3, "duration in seconds")
+	amb := fs.String("ambience", "", "background: datacenter, office, or empty")
+	seed := fs.Int64("seed", 1, "turbulence seed")
+	out := fs.String("o", "fan.wav", "output WAV path")
+	fs.Parse(args)
+	buf := audio.DefaultFan(0.3, *seed).Render(audio.DefaultSampleRate, *dur)
+	switch *amb {
+	case "datacenter":
+		buf.MixAt(audio.DatacenterAmbience(audio.DefaultSampleRate, *dur, acoustic.SPLToAmplitude(85), *seed+1), 0, 1)
+	case "office":
+		buf.MixAt(audio.OfficeAmbience(audio.DefaultSampleRate, *dur, acoustic.SPLToAmplitude(50), *seed+1), 0, 1)
+	case "":
+	default:
+		return fmt.Errorf("unknown ambience %q", *amb)
+	}
+	return writeWAV(*out, buf)
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("i", "", "input WAV path")
+	top := fs.Int("top", 10, "number of peaks to report")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("analyze requires -i <file.wav>")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf, err := audio.DecodeWAV(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %.2f s at %.0f Hz, RMS %.4f (%.1f dBFS)\n",
+		*in, buf.Duration(), buf.SampleRate, buf.RMS(), dsp.AmplitudeDB(buf.RMS()))
+
+	n := buf.Len()
+	if n > 1<<18 {
+		n = 1 << 18
+	}
+	work := make([]float64, n)
+	copy(work, buf.Samples[:n])
+	dsp.Hann.Apply(work)
+	spec := dsp.PowerSpectrum(dsp.FFTReal(work))
+	fftSize := dsp.NextPowerOfTwo(n)
+	peaks := dsp.TopPeaks(spec, fftSize, buf.SampleRate, 0, 20, *top)
+	fmt.Println("strongest spectral peaks:")
+	for i, p := range peaks {
+		fmt.Printf("  %2d. %8.1f Hz  %8.2f dB\n", i+1, p.Frequency, dsp.PowerDB(p.Power))
+	}
+	return nil
+}
+
+func cmdSpectro(args []string) error {
+	fs := flag.NewFlagSet("spectro", flag.ExitOnError)
+	in := fs.String("i", "", "input WAV path")
+	bands := fs.Int("bands", 64, "mel bands (columns)")
+	rows := fs.Int("rows", 32, "output rows (time)")
+	maxHz := fs.Float64("max", 8000, "top of the mel band in Hz")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("spectro requires -i <file.wav>")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf, err := audio.DecodeWAV(f)
+	if err != nil {
+		return err
+	}
+	sg := dsp.STFT(buf.Samples, buf.SampleRate, 2048, 1024, dsp.Hann)
+	if sg == nil {
+		return fmt.Errorf("input too short for a spectrogram")
+	}
+	bank := dsp.NewMelFilterBank(*bands, sg.FFTSize, buf.SampleRate, 50, *maxHz)
+	mel := sg.Mel(bank)
+	fmt.Print(viz.SpectrogramView(
+		fmt.Sprintf("mel spectrogram of %s (%d frames, %d bands)", *in, sg.NumFrames(), *bands),
+		mel, 0, buf.Duration(), 50, *maxHz, *rows, *bands))
+	return nil
+}

@@ -1,0 +1,85 @@
+// Command mdnsim runs a Music-Defined Networking deployment described
+// in a JSON scenario file: topology, applications, traffic, and room
+// noise. It prints a run report (text or JSON).
+//
+// Usage:
+//
+//	mdnsim -f scenarios/telemetry.json
+//	mdnsim -f scenario.json -json
+//	cat scenario.json | mdnsim
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mdn/internal/scenario"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "", "scenario JSON file (default: stdin)")
+		jsonOut = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	cfg, err := scenario.Load(in)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := scenario.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printReport(rep)
+}
+
+func printReport(rep *scenario.Report) {
+	fmt.Printf("scenario %q: %.1f s simulated, %d capture windows, %d tone detections\n\n",
+		rep.Name, rep.DurationS, rep.WindowsAnalysed, rep.TonesDetected)
+	fmt.Println("hosts:")
+	for _, h := range rep.Hosts {
+		fmt.Printf("  %-8s tx %6d pkts / %9d B    rx %6d pkts / %9d B\n",
+			h.Name, h.TxPackets, h.TxBytes, h.RxPackets, h.RxBytes)
+	}
+	fmt.Println("\napplications:")
+	for _, a := range rep.Apps {
+		fmt.Printf("  %s on %s: %d event(s)\n", a.Type, a.Switch, len(a.Events))
+		const maxShown = 12
+		shown := len(a.Events)
+		if shown > maxShown {
+			shown = maxShown
+		}
+		for _, e := range a.Events[:shown] {
+			fmt.Printf("    %s\n", e)
+		}
+		if rest := len(a.Events) - shown; rest > 0 {
+			fmt.Printf("    ... and %d more\n", rest)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdnsim:", err)
+	os.Exit(1)
+}

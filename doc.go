@@ -1,0 +1,23 @@
+// Package mdn is Music-Defined Networking: network management and
+// orchestration over an out-of-band sound channel, reproducing Hogan
+// and Esposito, "Music-Defined Networking" (HotNets-XVII, 2018).
+//
+// Network devices emit tones describing their state (active
+// applications) or are listened to passively (fan-failure detection);
+// an MDN controller decodes tone sequences with the FFT and reacts —
+// installing flow rules, raising alerts, balancing load.
+//
+// The package is a facade over the implementation packages:
+//
+//   - frequency planning with the paper's 20 Hz spacing
+//     (FrequencyPlan, DefaultPlan)
+//   - tone detection over captured audio (Detector, OnsetFilter)
+//   - the controller event loop (Controller)
+//   - the paper's applications: PortKnock, HeavyHitter, PortScan,
+//     QueueMonitor, LoadBalancer, FanMonitor
+//   - a Testbed builder assembling the simulated network, acoustic
+//     room, and Music Protocol plumbing
+//
+// See the examples directory for runnable end-to-end scenarios and
+// cmd/mdnbench for the paper's full evaluation.
+package mdn

@@ -1,0 +1,71 @@
+package mdn_test
+
+import (
+	"fmt"
+
+	"mdn"
+)
+
+// The smallest possible Music-Defined Network: one voiced switch, one
+// listening controller, one tone.
+func Example() {
+	tb := mdn.NewTestbed(42)
+	_, voice := tb.AddVoicedSwitch("s1", 1.5, 0)
+	freqs := tb.Plan.MustAllocate("s1", 1)
+
+	ctrl := tb.NewController(freqs)
+	onset := mdn.NewOnsetFilter()
+	ctrl.SubscribeWindows(func(_ float64, dets []mdn.Detection) {
+		for _, d := range onset.Step(dets) {
+			fmt.Printf("heard %.0f Hz\n", d.Frequency)
+		}
+	})
+	ctrl.Start(0)
+
+	tb.Sim.Schedule(0.5, func() { voice.Play(freqs[0]) })
+	tb.Sim.RunUntil(1)
+	// Output: heard 400 Hz
+}
+
+// Frequency plans give every device a disjoint tone set and map
+// observed frequencies back to their owner.
+func ExampleFrequencyPlan() {
+	plan := mdn.NewFrequencyPlan(400, 4000, 20)
+	s1, _ := plan.Allocate("switch-1", 3)
+	s2, _ := plan.Allocate("switch-2", 3)
+	fmt.Println(s1, s2)
+
+	device, index, ok := plan.Identify(467, plan.DefaultTolerance())
+	fmt.Println(device, index, ok)
+	// Output:
+	// [400 420 440] [460 480 500]
+	// switch-2 0 true
+}
+
+// SequenceFSM is the paper's Section 4 state machine: it accepts
+// exactly one symbol sequence.
+func ExampleSequenceFSM() {
+	fsm := mdn.SequenceFSM([]string{"knock-a", "knock-b"})
+	fsm.OnAccept = func() { fmt.Println("open the port") }
+	fsm.Step("knock-b") // wrong first knock
+	fsm.Step("knock-a")
+	fsm.Step("knock-b")
+	fmt.Println("resets:", fsm.Resets)
+	// Output:
+	// open the port
+	// resets: 1
+}
+
+// The onset filter turns per-window tone presence into counted tone
+// events, rejecting one-window spectral splatter.
+func ExampleOnsetFilter() {
+	o := mdn.NewOnsetFilter()
+	tone := mdn.Detection{Frequency: 700}
+	fmt.Println(len(o.Step([]mdn.Detection{tone}))) // first window: unconfirmed
+	fmt.Println(len(o.Step([]mdn.Detection{tone}))) // second window: onset
+	fmt.Println(len(o.Step([]mdn.Detection{tone}))) // still on: no re-fire
+	// Output:
+	// 0
+	// 1
+	// 0
+}

@@ -1,0 +1,83 @@
+// The Music Protocol over a real transport: the paper's switch→Pi
+// hop, run here over TCP loopback with the exact 28-byte wire format.
+// A "switch" dials the "Raspberry Pi" server and streams the tones of
+// a port-knock melody plus the three queue-level tones; the Pi
+// decodes and reports what it would play.
+//
+//	go run ./examples/mptcp
+package main
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"mdn/internal/mp"
+)
+
+func main() {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("raspberry-pi MP server listening on %s\n", ln.Addr())
+
+	var serveWG sync.WaitGroup
+	serveWG.Add(1)
+	var mu sync.Mutex
+	played := 0
+	srv := &mp.Server{Handler: func(m mp.Message) {
+		mu.Lock()
+		played++
+		mu.Unlock()
+		fmt.Printf("  pi: play %6.1f Hz for %4.0f ms at %2.0f dB\n",
+			m.Frequency, m.Duration*1000, m.Intensity)
+	}}
+	go func() {
+		defer serveWG.Done()
+		if err := srv.Serve(ln); err != nil {
+			panic(err)
+		}
+	}()
+
+	client, err := mp.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("switch connected; sending the knock melody:")
+	melody := []mp.Message{
+		{Frequency: 400, Duration: 0.065, Intensity: 60},
+		{Frequency: 480, Duration: 0.065, Intensity: 60},
+		{Frequency: 560, Duration: 0.065, Intensity: 60},
+	}
+	for _, m := range melody {
+		if err := client.Send(m); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("sending the queue-level tones (500/600/700 Hz):")
+	for _, f := range []float64{500, 600, 700} {
+		if err := client.Send(mp.Message{Frequency: f, Duration: 0.065, Intensity: 55}); err != nil {
+			panic(err)
+		}
+	}
+	client.Close()
+
+	// Buggy firmware: a raw connection pushes an invalid message
+	// (negative frequency); the Pi's validation must skip it.
+	fmt.Println("sending one invalid message (negative frequency) — the pi skips it")
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		panic(err)
+	}
+	if _, err := raw.Write(mp.Marshal(mp.Message{Frequency: -1, Duration: 1, Intensity: 1})); err != nil {
+		panic(err)
+	}
+	raw.Close()
+
+	srv.Close()
+	serveWG.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("\npi accepted %d of 7 messages (1 rejected by validation)\n", played)
+}

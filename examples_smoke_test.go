@@ -1,0 +1,59 @@
+package mdn
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesSmoke builds and runs every example binary, checking
+// each for its headline output line. Skipped with -short (it shells
+// out to the go tool).
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test shells out to go run")
+	}
+	cases := map[string]string{
+		"quickstart":  "controller heard",
+		"portknock":   "port opened at",
+		"loadbalance": "congestion tone heard",
+		"fanfailure":  "ALERT: fan failure",
+		"telemetry":   "SCAN ALERT",
+		"ddos":        "DDOS ALERT",
+		"mptcp":       "pi accepted 6 of 7",
+		"relay":       "heard via relay: 5",
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range cases {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Errorf("example %s output missing %q:\n%s", name, want, out)
+			}
+		})
+	}
+	// The examples directory must not grow unrun entries.
+	entries, err := os.ReadDir(filepath.Join(root, "examples"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			if _, ok := cases[e.Name()]; !ok {
+				t.Errorf("example %q has no smoke test entry", e.Name())
+			}
+		}
+	}
+}

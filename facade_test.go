@@ -1,0 +1,122 @@
+package mdn
+
+import (
+	"testing"
+
+	"mdn/internal/acoustic"
+	"mdn/internal/mp"
+	"mdn/internal/netsim"
+	"mdn/internal/openflow"
+)
+
+// TestFacadeConstructors exercises every facade wrapper once, so the
+// public API surface stays wired to the implementation.
+func TestFacadeConstructors(t *testing.T) {
+	tb := NewTestbed(500)
+	sw, voice := tb.AddVoicedSwitch("s1", 1, 0)
+
+	if p := NewFrequencyPlan(400, 4000, 20); p.Capacity() != 181 {
+		t.Errorf("plan capacity = %d", p.Capacity())
+	}
+	if DefaultPlan().Capacity() == 0 {
+		t.Error("default plan empty")
+	}
+	det := NewDetector(MethodFFT, []float64{500})
+	if det == nil || len(det.Watch()) != 1 {
+		t.Error("detector wrapper broken")
+	}
+	if NewOnsetFilter() == nil {
+		t.Error("onset wrapper broken")
+	}
+	if SequenceFSM([]string{"a"}) == nil {
+		t.Error("fsm wrapper broken")
+	}
+
+	ch := tb.OpenFlowChannel(sw, 0.001)
+	if ch == nil || ch.Switch() != sw {
+		t.Error("channel wrapper broken")
+	}
+	pk, err := NewPortKnock(tb.Plan, "s1", voice, ch, []uint16{1, 2}, openflow.FlowMod{})
+	if err != nil || len(pk.Frequencies()) != 2 {
+		t.Errorf("portknock wrapper: %v", err)
+	}
+	hh, err := NewHeavyHitter(tb.Plan, "s2", voice, 4)
+	if err != nil || len(hh.Frequencies()) != 4 {
+		t.Errorf("heavyhitter wrapper: %v", err)
+	}
+	ps, err := NewPortScan(tb.Plan, "s3", voice, 100, 4)
+	if err != nil || len(ps.Frequencies()) != 4 {
+		t.Errorf("portscan wrapper: %v", err)
+	}
+	qm, err := NewQueueMonitor(tb.Plan, sw, 2, voice)
+	if err != nil || len(qm.Frequencies()) != 3 {
+		t.Errorf("queuemon wrapper: %v", err)
+	}
+	qm2 := NewQueueMonitorWithTones(sw, 3, voice, [3]float64{500, 600, 700})
+	if qm2.LevelFor(600) != LevelMid {
+		t.Error("queuemon tones wrapper broken")
+	}
+	lb := NewLoadBalancer(qm2, ch, openflow.FlowMod{Command: openflow.FlowAdd, Action: netsim.Drop()})
+	if lb == nil || lb.Triggered {
+		t.Error("loadbalancer wrapper broken")
+	}
+	fm := NewFanMonitor(tb.Mic, []float64{1050, 2100})
+	if fm == nil || len(fm.Harmonics) != 2 {
+		t.Error("fanmonitor wrapper broken")
+	}
+	sd, err := NewSpreadDetector(tb.Plan, "s4", voice, ModeDDoSVictim, netsim.MustAddr("10.0.0.1"), 4, 2)
+	if err != nil || len(sd.Frequencies()) != 4 {
+		t.Errorf("spread wrapper: %v", err)
+	}
+	mc, err := NewMelodyCodec(tb.Plan, "s5")
+	if err != nil || len(mc.Frequencies()) != 17 {
+		t.Errorf("melody wrapper: %v", err)
+	}
+	arr := NewMicArray(tb.Sim, det, tb.Mic)
+	if arr == nil {
+		t.Error("micarray wrapper broken")
+	}
+	mgr := NewManager(tb.Sim, tb.Mic, tb.Plan)
+	if err := mgr.Deploy(hh); err != nil {
+		t.Errorf("manager deploy: %v", err)
+	}
+	hb := NewHeartbeat()
+	if _, err := hb.Register(tb.Plan, "s6", voice); err != nil {
+		t.Errorf("heartbeat wrapper: %v", err)
+	}
+	cc := NewCongestionController(qm2, fakeRate{})
+	if cc == nil || cc.Beta != 0.5 {
+		t.Error("congestion wrapper broken")
+	}
+	kg := NewKnockGenerator([]byte("secret"))
+	if len(kg.SequenceAt(0)) != 3 || !kg.Verify(0, kg.SequenceAt(0)) {
+		t.Error("knock generator wrapper broken")
+	}
+	// Constants re-exported sanely.
+	if DefaultSpacing != 20 || DefaultStride != 4 {
+		t.Error("constants wrong")
+	}
+	if MethodGoertzel.String() != "goertzel" {
+		t.Error("method constant wrong")
+	}
+}
+
+type fakeRate struct{}
+
+func (fakeRate) SetRate(float64) {}
+func (fakeRate) Rate() float64   { return 1 }
+
+// TestFacadeRelay exercises the relay wrapper with real plumbing.
+func TestFacadeRelay(t *testing.T) {
+	tb := NewTestbed(501)
+	mic2 := tb.Room.AddMicrophone("relay-mic", acoustic.Position{X: 3}, 0.0001)
+	sp := tb.Room.AddSpeaker("relay-out", acoustic.Position{X: 3.5})
+	pi := mp.NewPi(tb.Sim, sp, 0.001)
+	relay, err := NewRelay(tb.Sim, mic2, pi, map[float64]float64{600: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay.Start(0)
+	tb.Sim.RunUntil(0.2)
+	relay.Stop()
+}

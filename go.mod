@@ -1,0 +1,3 @@
+module mdn
+
+go 1.22

@@ -1,0 +1,169 @@
+package acoustic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdn/internal/audio"
+)
+
+// Property tests on the channel physics.
+
+func TestSuperpositionProperty(t *testing.T) {
+	// The capture of two emissions equals the sum of the captures of
+	// each emission alone (the channel is linear).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		freqA := 400 + rng.Float64()*2000
+		freqB := 400 + rng.Float64()*2000
+		posA := Position{X: 0.5 + rng.Float64()*3}
+		posB := Position{Y: 0.5 + rng.Float64()*3}
+		atA := rng.Float64() * 0.2
+		atB := rng.Float64() * 0.2
+
+		capture := func(withA, withB bool) *audio.Buffer {
+			r := NewRoom(44100, 1) // fixed seed; zero mic noise keeps it exact
+			mic := r.AddMicrophone("m", Position{}, 0)
+			if withA {
+				r.AddSpeaker("a", posA).Play(atA, audio.Tone{Frequency: freqA, Duration: 0.1, Amplitude: 0.3})
+			}
+			if withB {
+				r.AddSpeaker("b", posB).Play(atB, audio.Tone{Frequency: freqB, Duration: 0.1, Amplitude: 0.2})
+			}
+			return mic.Capture(0, 0.5)
+		}
+		both := capture(true, true)
+		onlyA := capture(true, false)
+		onlyB := capture(false, true)
+		for i := range both.Samples {
+			want := onlyA.Samples[i] + onlyB.Samples[i]
+			if math.Abs(both.Samples[i]-want) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverseSquareLawProperty(t *testing.T) {
+	// Doubling the distance halves the received amplitude (beyond
+	// the clamp distance).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 0.5 + rng.Float64()*5
+		freq := 500 + rng.Float64()*1000
+		rmsAt := func(dist float64) float64 {
+			r := NewRoom(44100, 1)
+			mic := r.AddMicrophone("m", Position{}, 0)
+			r.AddSpeaker("s", Position{X: dist}).Play(0, audio.Tone{
+				Frequency: freq, Duration: 0.3, Amplitude: 0.4})
+			return mic.Capture(0.1, 0.25).RMS()
+		}
+		near := rmsAt(d)
+		far := rmsAt(2 * d)
+		ratio := near / far
+		return math.Abs(ratio-2) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelayScalesWithDistanceProperty(t *testing.T) {
+	// Arrival time == emission time + distance / speed of sound.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Float64()*30
+		r := NewRoom(44100, 1)
+		mic := r.AddMicrophone("m", Position{}, 0)
+		r.AddSpeaker("s", Position{X: d}).Play(0, audio.Tone{
+			Frequency: 1000, Duration: 0.05, Amplitude: 1})
+		expect := d / SpeedOfSound
+		// Silent strictly before the expected arrival, audible after.
+		pre := mic.Capture(0, expect*0.95)
+		post := mic.Capture(expect+0.001, expect+0.03)
+		return pre.RMS() < 1e-12 && post.RMS() > 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCaptureIdempotentProperty(t *testing.T) {
+	// Capturing the same window twice returns identical samples even
+	// with microphone self-noise (seeded per window).
+	f := func(seed int64, from float64) bool {
+		from = math.Mod(math.Abs(from), 10)
+		r := NewRoom(44100, seed)
+		mic := r.AddMicrophone("m", Position{}, 0.01)
+		r.AddSpeaker("s", Position{X: 1}).Play(from, audio.Tone{
+			Frequency: 800, Duration: 0.05, Amplitude: 0.2})
+		a := mic.Capture(from, from+0.1)
+		b := mic.Capture(from, from+0.1)
+		for i := range a.Samples {
+			if a.Samples[i] != b.Samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAirAbsorptionCoefficient(t *testing.T) {
+	// Power-law fit anchors: ~0.01 dB/m at 1 kHz, ~1.2 dB/m at 40 kHz.
+	if a := AirAbsorptionDBPerMetre(1000); math.Abs(a-0.01) > 0.002 {
+		t.Errorf("alpha(1k) = %g, want ~0.01", a)
+	}
+	if a := AirAbsorptionDBPerMetre(40000); a < 0.8 || a > 2.0 {
+		t.Errorf("alpha(40k) = %g, want ~1.2", a)
+	}
+	if AirAbsorptionDBPerMetre(0) != 0 || AirAbsorptionDBPerMetre(-5) != 0 {
+		t.Error("non-positive frequency should give zero absorption")
+	}
+	// Monotone in frequency.
+	prev := 0.0
+	for f := 100.0; f <= 40000; f *= 2 {
+		a := AirAbsorptionDBPerMetre(f)
+		if a <= prev {
+			t.Fatalf("absorption not increasing at %g Hz", f)
+		}
+		prev = a
+	}
+}
+
+func TestAirAbsorptionKillsUltrasoundWithRange(t *testing.T) {
+	// Over 20 m, a 40 kHz tone loses ~24 dB to the air on top of the
+	// 1/r law, while 1 kHz loses ~0.2 dB. With absorption enabled the
+	// ultrasonic tone's received level drops by more than 10x relative
+	// to the audible one.
+	const (
+		sampleRate = 96000.0
+		dist       = 20.0
+	)
+	level := func(freq float64, absorb bool) float64 {
+		r := NewRoom(sampleRate, 1)
+		r.AirAbsorption = absorb
+		mic := r.AddMicrophone("m", Position{}, 0)
+		r.AddSpeaker("s", Position{X: dist}).Play(0, audio.Tone{
+			Frequency: freq, Duration: 0.3, Amplitude: 0.5})
+		return mic.Capture(0.1, 0.25).RMS()
+	}
+	lowOff := level(1000, false)
+	lowOn := level(1000, true)
+	highOff := level(40000, false)
+	highOn := level(40000, true)
+	if lowOn < 0.9*lowOff {
+		t.Errorf("1 kHz should barely absorb: %g vs %g", lowOn, lowOff)
+	}
+	if highOn > highOff/10 {
+		t.Errorf("40 kHz over 20 m should lose >20 dB: %g vs %g", highOn, highOff)
+	}
+}

@@ -1,0 +1,262 @@
+package acoustic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"mdn/internal/audio"
+)
+
+// Emission is one scheduled tone: a speaker starts playing Tone at
+// time At (seconds of experiment time).
+type Emission struct {
+	// At is the start time at the speaker, in seconds.
+	At float64
+	// Tone is the emitted tone; Tone.Amplitude is the level at 1 m.
+	Tone audio.Tone
+	// Speaker identifies the emitting speaker.
+	Speaker string
+}
+
+// Speaker is a sound emitter placed in the room. Speakers are created
+// with Room.AddSpeaker.
+type Speaker struct {
+	// Name identifies the speaker (usually the switch it serves).
+	Name string
+	// Pos is the speaker's position.
+	Pos Position
+	// MaxAmplitude saturates emissions: tones louder than this are
+	// clipped to it, like a real driver. Zero means no limit.
+	MaxAmplitude float64
+
+	room *Room
+}
+
+// Play schedules a tone to start at time at (seconds).
+func (s *Speaker) Play(at float64, tone audio.Tone) {
+	if s.MaxAmplitude > 0 && tone.Amplitude > s.MaxAmplitude {
+		tone.Amplitude = s.MaxAmplitude
+	}
+	s.room.mu.Lock()
+	defer s.room.mu.Unlock()
+	s.room.emissions = append(s.room.emissions, Emission{At: at, Tone: tone, Speaker: s.Name})
+}
+
+// Microphone is a capture point in the room. Microphones are created
+// with Room.AddMicrophone.
+type Microphone struct {
+	// Name identifies the microphone.
+	Name string
+	// Pos is the microphone's position.
+	Pos Position
+	// SelfNoiseRMS is the electronics noise floor added to every
+	// capture (linear RMS). Cheap microphones have a higher floor.
+	SelfNoiseRMS float64
+
+	room *Room
+}
+
+// NoiseSource is a continuous background sound (ambience, a pop song,
+// a running fan) placed in the room. Its buffer loops for the whole
+// experiment; Gain scales it. Level in the buffer is the level at 1 m.
+type NoiseSource struct {
+	// Name identifies the source.
+	Name string
+	// Pos is the source position.
+	Pos Position
+	// Loop is the looped waveform.
+	Loop *audio.Buffer
+	// Gain scales the loop (1.0 = as recorded).
+	Gain float64
+	// From silences the source before this time (seconds).
+	From float64
+	// Until silences the source after this time; zero means forever.
+	Until float64
+}
+
+// Room is the acoustic environment: a registry of speakers,
+// microphones, and noise sources sharing one sample rate. The zero
+// value is not usable; use NewRoom.
+type Room struct {
+	// SampleRate for all rendered audio, in Hz.
+	SampleRate float64
+	// Seed drives microphone self-noise.
+	Seed int64
+	// AirAbsorption, when true, applies frequency-dependent
+	// atmospheric attenuation to tone emissions on top of the 1/r
+	// law (see AirAbsorptionDBPerMetre). Narrowband tones attenuate
+	// exactly; broadband noise sources are left at 1/r (their
+	// spectra are dominated by low frequencies, where absorption is
+	// negligible at room scales).
+	AirAbsorption bool
+
+	mu        sync.Mutex
+	speakers  map[string]*Speaker
+	mics      map[string]*Microphone
+	noise     []*NoiseSource
+	emissions []Emission
+}
+
+// NewRoom creates an empty room rendering at the given sample rate.
+func NewRoom(sampleRate float64, seed int64) *Room {
+	if sampleRate <= 0 {
+		panic("acoustic: sample rate must be positive")
+	}
+	return &Room{
+		SampleRate: sampleRate,
+		Seed:       seed,
+		speakers:   make(map[string]*Speaker),
+		mics:       make(map[string]*Microphone),
+	}
+}
+
+// AddSpeaker places a named speaker. It panics on duplicate names —
+// testbed wiring errors should fail loudly at setup.
+func (r *Room) AddSpeaker(name string, pos Position) *Speaker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.speakers[name]; dup {
+		panic(fmt.Sprintf("acoustic: duplicate speaker %q", name))
+	}
+	s := &Speaker{Name: name, Pos: pos, room: r}
+	r.speakers[name] = s
+	return s
+}
+
+// AddMicrophone places a named microphone.
+func (r *Room) AddMicrophone(name string, pos Position, selfNoiseRMS float64) *Microphone {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.mics[name]; dup {
+		panic(fmt.Sprintf("acoustic: duplicate microphone %q", name))
+	}
+	m := &Microphone{Name: name, Pos: pos, SelfNoiseRMS: selfNoiseRMS, room: r}
+	r.mics[name] = m
+	return m
+}
+
+// AddNoise registers a background noise source. A nil or empty loop is
+// ignored (returns nil).
+func (r *Room) AddNoise(src *NoiseSource) *NoiseSource {
+	if src == nil || src.Loop == nil || src.Loop.Len() == 0 {
+		return nil
+	}
+	if src.Gain == 0 {
+		src.Gain = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.noise = append(r.noise, src)
+	return src
+}
+
+// Speaker returns the named speaker or nil.
+func (r *Room) Speaker(name string) *Speaker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.speakers[name]
+}
+
+// Emissions returns a copy of all scheduled emissions, ordered by
+// start time.
+func (r *Room) Emissions() []Emission {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Emission, len(r.emissions))
+	copy(out, r.emissions)
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Capture renders what the microphone hears over [from, to) seconds:
+// every emission (attenuated by distance, delayed by propagation),
+// every noise source, and the microphone's own noise floor.
+func (m *Microphone) Capture(from, to float64) *audio.Buffer {
+	r := m.room
+	out := audio.NewBuffer(r.SampleRate, to-from)
+	if out.Len() == 0 {
+		return out
+	}
+	r.mu.Lock()
+	emissions := make([]Emission, len(r.emissions))
+	copy(emissions, r.emissions)
+	noise := make([]*NoiseSource, len(r.noise))
+	copy(noise, r.noise)
+	r.mu.Unlock()
+
+	for _, e := range emissions {
+		sp := r.Speaker(e.Speaker)
+		if sp == nil {
+			continue
+		}
+		dist := sp.Pos.Distance(m.Pos)
+		arrive := e.At + delay(dist)
+		if arrive >= to || arrive+e.Tone.Duration <= from {
+			continue
+		}
+		tone := e.Tone
+		tone.Amplitude *= attenuation(dist)
+		if r.AirAbsorption {
+			tone.Amplitude *= airAbsorption(tone.Frequency, dist)
+		}
+		out.MixAt(tone.Render(r.SampleRate), arrive-from, 1)
+	}
+
+	for _, src := range noise {
+		m.mixNoise(out, src, from, to)
+	}
+
+	if m.SelfNoiseRMS > 0 {
+		// Seed per (mic, window) so repeated captures of the same
+		// window return identical waveforms.
+		seed := r.Seed ^ int64(math.Float64bits(from)) ^ int64(len(m.Name))
+		out.MixAt(audio.WhiteNoise(r.SampleRate, to-from, m.SelfNoiseRMS, seed), 0, 1)
+	}
+	return out
+}
+
+func (m *Microphone) mixNoise(out *audio.Buffer, src *NoiseSource, from, to float64) {
+	r := m.room
+	dist := src.Pos.Distance(m.Pos)
+	gain := src.Gain * attenuation(dist)
+	loop := src.Loop
+	n := loop.Len()
+	if n == 0 {
+		return
+	}
+	start := src.From
+	end := src.Until
+	if end <= 0 {
+		end = math.Inf(1)
+	}
+	for i := range out.Samples {
+		t := from + float64(i)/r.SampleRate
+		if t < start || t >= end {
+			continue
+		}
+		// Position within the looped buffer, delayed by propagation.
+		idx := int(math.Round((t - delay(dist)) * r.SampleRate))
+		idx %= n
+		if idx < 0 {
+			idx += n
+		}
+		out.Samples[i] += loop.Samples[idx] * gain
+	}
+}
+
+// SNRAt estimates the signal-to-noise ratio in dB that a tone of the
+// given source amplitude played by speaker sp would enjoy at the
+// microphone, against the current noise sources (measured over a 1 s
+// noise window starting at probeTime). Useful for experiment design.
+func (m *Microphone) SNRAt(sp *Speaker, amplitude, probeTime float64) float64 {
+	dist := sp.Pos.Distance(m.Pos)
+	sig := amplitude * attenuation(dist) / math.Sqrt2 // RMS of a sine
+	noiseBuf := m.Capture(probeTime, probeTime+1)
+	nRMS := noiseBuf.RMS()
+	if nRMS <= 0 {
+		return 120
+	}
+	return 20 * math.Log10(sig/nRMS)
+}

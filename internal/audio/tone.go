@@ -1,0 +1,94 @@
+package audio
+
+import "math"
+
+// Tone describes a single sinusoidal emission — the unit of the MDN
+// Music Protocol. A Music Protocol message carries exactly these three
+// parameters (frequency, duration, intensity).
+type Tone struct {
+	// Frequency in Hz.
+	Frequency float64
+	// Duration in seconds. The paper's shortest usable tone was
+	// approximately 30 ms.
+	Duration float64
+	// Amplitude is the linear peak amplitude at the speaker (1.0 =
+	// speaker full scale).
+	Amplitude float64
+	// Phase is the initial phase in radians; useful to decorrelate
+	// concurrent emitters.
+	Phase float64
+}
+
+// DefaultEnvelope is the attack/release ramp applied to synthesized
+// tones, in seconds. 5 ms edges remove the spectral splatter of a
+// hard-keyed sinusoid without materially shortening a 30 ms tone.
+const DefaultEnvelope = 0.005
+
+// Render synthesizes the tone at the given sample rate with a linear
+// attack/release envelope of DefaultEnvelope seconds on each edge
+// (shortened for very brief tones so the envelope never exceeds half
+// the duration).
+func (t Tone) Render(sampleRate float64) *Buffer {
+	return t.RenderEnvelope(sampleRate, DefaultEnvelope)
+}
+
+// RenderEnvelope synthesizes the tone with an explicit attack/release
+// length in seconds.
+func (t Tone) RenderEnvelope(sampleRate, envelope float64) *Buffer {
+	b := NewBuffer(sampleRate, t.Duration)
+	n := len(b.Samples)
+	if n == 0 {
+		return b
+	}
+	edge := int(envelope * sampleRate)
+	if edge > n/2 {
+		edge = n / 2
+	}
+	w := 2 * math.Pi * t.Frequency / sampleRate
+	for i := 0; i < n; i++ {
+		v := t.Amplitude * math.Sin(w*float64(i)+t.Phase)
+		switch {
+		case edge > 0 && i < edge:
+			v *= float64(i) / float64(edge)
+		case edge > 0 && i >= n-edge:
+			v *= float64(n-1-i) / float64(edge)
+		}
+		b.Samples[i] = v
+	}
+	return b
+}
+
+// Chord renders several simultaneous tones of equal duration into one
+// buffer. Tones shorter than the longest are padded with silence.
+func Chord(sampleRate float64, tones ...Tone) *Buffer {
+	maxDur := 0.0
+	for _, t := range tones {
+		if t.Duration > maxDur {
+			maxDur = t.Duration
+		}
+	}
+	out := NewBuffer(sampleRate, maxDur)
+	for _, t := range tones {
+		out.MixAt(t.Render(sampleRate), 0, 1)
+	}
+	return out
+}
+
+// Sequence renders tones back to back with the given gap in seconds
+// between them — a "melody" in the paper's terms.
+func Sequence(sampleRate, gap float64, tones ...Tone) *Buffer {
+	total := 0.0
+	for i, t := range tones {
+		total += t.Duration
+		if i < len(tones)-1 {
+			total += gap
+		}
+	}
+	out := NewBuffer(sampleRate, total)
+	at := 0.0
+	for _, t := range tones {
+		out.MixAt(t.Render(sampleRate), at, 1)
+		at += t.Duration + gap
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package audio
+
+import (
+	"math"
+	"testing"
+
+	"mdn/internal/dsp"
+)
+
+func TestToneRenderBasics(t *testing.T) {
+	tone := Tone{Frequency: 440, Duration: 0.1, Amplitude: 0.8}
+	b := tone.Render(44100)
+	if math.Abs(b.Duration()-0.1) > 1e-3 {
+		t.Errorf("duration = %g", b.Duration())
+	}
+	if p := b.Peak(); p > 0.8+1e-9 || p < 0.7 {
+		t.Errorf("peak = %g, want ~0.8", p)
+	}
+	// Spectral check: dominant frequency is 440 Hz.
+	g440 := dsp.Goertzel(b.Samples, 440, 44100)
+	g600 := dsp.Goertzel(b.Samples, 600, 44100)
+	if g440 < 10*g600 {
+		t.Errorf("tone energy not at 440 Hz: %g vs %g", g440, g600)
+	}
+}
+
+func TestToneEnvelopeRemovesClicks(t *testing.T) {
+	tone := Tone{Frequency: 1000, Duration: 0.05, Amplitude: 1}
+	b := tone.Render(44100)
+	if math.Abs(b.Samples[0]) > 1e-9 {
+		t.Errorf("first sample = %g, want 0 (attack ramp)", b.Samples[0])
+	}
+	last := b.Samples[len(b.Samples)-1]
+	if math.Abs(last) > 1e-9 {
+		t.Errorf("last sample = %g, want 0 (release ramp)", last)
+	}
+}
+
+func TestToneVeryShortEnvelopeClamped(t *testing.T) {
+	// 2 ms tone: envelope must shrink so the tone still has energy.
+	tone := Tone{Frequency: 2000, Duration: 0.002, Amplitude: 1}
+	b := tone.Render(44100)
+	if b.RMS() == 0 {
+		t.Error("short tone fully suppressed by envelope")
+	}
+}
+
+func TestToneZeroDuration(t *testing.T) {
+	b := Tone{Frequency: 440, Duration: 0, Amplitude: 1}.Render(44100)
+	if b.Len() != 0 {
+		t.Errorf("len = %d, want 0", b.Len())
+	}
+}
+
+func TestChordContainsAllTones(t *testing.T) {
+	const sr = 44100.0
+	b := Chord(sr,
+		Tone{Frequency: 500, Duration: 0.2, Amplitude: 0.5},
+		Tone{Frequency: 700, Duration: 0.1, Amplitude: 0.5},
+	)
+	if math.Abs(b.Duration()-0.2) > 1e-3 {
+		t.Errorf("chord duration = %g, want longest tone", b.Duration())
+	}
+	for _, hz := range []float64{500, 700} {
+		if dsp.Goertzel(b.Samples[:2205], hz, sr) < 50 {
+			t.Errorf("chord missing %g Hz", hz)
+		}
+	}
+}
+
+func TestSequenceTiming(t *testing.T) {
+	const sr = 44100.0
+	b := Sequence(sr, 0.05,
+		Tone{Frequency: 500, Duration: 0.1, Amplitude: 1},
+		Tone{Frequency: 900, Duration: 0.1, Amplitude: 1},
+	)
+	if math.Abs(b.Duration()-0.25) > 1e-3 {
+		t.Errorf("sequence duration = %g, want 0.25", b.Duration())
+	}
+	// First segment is 500 Hz, second is 900 Hz.
+	first := b.Slice(0.02, 0.08)
+	second := b.Slice(0.17, 0.23)
+	if dsp.Goertzel(first.Samples, 500, sr) < 10*dsp.Goertzel(first.Samples, 900, sr) {
+		t.Error("first segment should be 500 Hz")
+	}
+	if dsp.Goertzel(second.Samples, 900, sr) < 10*dsp.Goertzel(second.Samples, 500, sr) {
+		t.Error("second segment should be 900 Hz")
+	}
+	// Gap is silent.
+	gap := b.Slice(0.11, 0.14)
+	if gap.RMS() > 1e-6 {
+		t.Errorf("gap rms = %g, want silence", gap.RMS())
+	}
+}
+
+func TestSequenceEmpty(t *testing.T) {
+	if Sequence(44100, 0.1).Len() != 0 {
+		t.Error("empty sequence should be empty")
+	}
+}

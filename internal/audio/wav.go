@@ -1,0 +1,98 @@
+package audio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WAV container constants (RIFF/WAVE, 16-bit PCM mono).
+const (
+	wavFormatPCM   = 1
+	wavBitsPer     = 16
+	wavHeaderBytes = 44
+)
+
+// EncodeWAV writes the buffer as a 16-bit PCM mono RIFF WAV stream.
+// Samples are clipped to [-1, 1] before quantisation.
+func EncodeWAV(w io.Writer, b *Buffer) error {
+	n := len(b.Samples)
+	dataBytes := n * 2
+	rate := uint32(math.Round(b.SampleRate))
+	var hdr [wavHeaderBytes]byte
+	copy(hdr[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(36+dataBytes))
+	copy(hdr[8:12], "WAVE")
+	copy(hdr[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(hdr[16:20], 16) // fmt chunk size
+	binary.LittleEndian.PutUint16(hdr[20:22], wavFormatPCM)
+	binary.LittleEndian.PutUint16(hdr[22:24], 1) // mono
+	binary.LittleEndian.PutUint32(hdr[24:28], rate)
+	binary.LittleEndian.PutUint32(hdr[28:32], rate*2) // byte rate
+	binary.LittleEndian.PutUint16(hdr[32:34], 2)      // block align
+	binary.LittleEndian.PutUint16(hdr[34:36], wavBitsPer)
+	copy(hdr[36:40], "data")
+	binary.LittleEndian.PutUint32(hdr[40:44], uint32(dataBytes))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("audio: writing WAV header: %w", err)
+	}
+	pcm := make([]byte, dataBytes)
+	for i, v := range b.Samples {
+		if v > 1 {
+			v = 1
+		} else if v < -1 {
+			v = -1
+		}
+		s := int16(math.Round(v * 32767))
+		binary.LittleEndian.PutUint16(pcm[i*2:], uint16(s))
+	}
+	if _, err := w.Write(pcm); err != nil {
+		return fmt.Errorf("audio: writing WAV data: %w", err)
+	}
+	return nil
+}
+
+// ErrNotWAV reports that the stream is not a mono 16-bit PCM WAV this
+// package can read.
+var ErrNotWAV = errors.New("audio: not a supported WAV stream")
+
+// DecodeWAV reads a 16-bit PCM mono RIFF WAV stream produced by
+// EncodeWAV (or any compatible tool).
+func DecodeWAV(r io.Reader) (*Buffer, error) {
+	var hdr [wavHeaderBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("audio: reading WAV header: %w", err)
+	}
+	if string(hdr[0:4]) != "RIFF" || string(hdr[8:12]) != "WAVE" || string(hdr[12:16]) != "fmt " {
+		return nil, ErrNotWAV
+	}
+	if binary.LittleEndian.Uint16(hdr[20:22]) != wavFormatPCM {
+		return nil, fmt.Errorf("%w: not PCM", ErrNotWAV)
+	}
+	if binary.LittleEndian.Uint16(hdr[22:24]) != 1 {
+		return nil, fmt.Errorf("%w: not mono", ErrNotWAV)
+	}
+	if binary.LittleEndian.Uint16(hdr[34:36]) != wavBitsPer {
+		return nil, fmt.Errorf("%w: not 16-bit", ErrNotWAV)
+	}
+	if string(hdr[36:40]) != "data" {
+		return nil, fmt.Errorf("%w: missing data chunk", ErrNotWAV)
+	}
+	rate := binary.LittleEndian.Uint32(hdr[24:28])
+	dataBytes := int(binary.LittleEndian.Uint32(hdr[40:44]))
+	if dataBytes < 0 || dataBytes%2 != 0 {
+		return nil, fmt.Errorf("%w: bad data size %d", ErrNotWAV, dataBytes)
+	}
+	pcm := make([]byte, dataBytes)
+	if _, err := io.ReadFull(r, pcm); err != nil {
+		return nil, fmt.Errorf("audio: reading WAV data: %w", err)
+	}
+	b := &Buffer{SampleRate: float64(rate), Samples: make([]float64, dataBytes/2)}
+	for i := range b.Samples {
+		s := int16(binary.LittleEndian.Uint16(pcm[i*2:]))
+		b.Samples[i] = float64(s) / 32767
+	}
+	return b, nil
+}

@@ -1,0 +1,86 @@
+package audio
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWAVRoundTrip(t *testing.T) {
+	orig := Tone{Frequency: 440, Duration: 0.25, Amplitude: 0.9}.Render(44100)
+	var buf bytes.Buffer
+	if err := EncodeWAV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != wavHeaderBytes+orig.Len()*2 {
+		t.Errorf("encoded size = %d", buf.Len())
+	}
+	got, err := DecodeWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SampleRate != 44100 {
+		t.Errorf("rate = %g", got.SampleRate)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), orig.Len())
+	}
+	for i := range got.Samples {
+		if math.Abs(got.Samples[i]-orig.Samples[i]) > 1.0/32000 {
+			t.Fatalf("sample %d: %g vs %g", i, got.Samples[i], orig.Samples[i])
+		}
+	}
+}
+
+func TestWAVEncodesClipped(t *testing.T) {
+	b := &Buffer{SampleRate: 8000, Samples: []float64{2, -2}}
+	var buf bytes.Buffer
+	if err := EncodeWAV(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Samples[0] < 0.99 || got.Samples[1] > -0.99 {
+		t.Errorf("clipping failed: %v", got.Samples)
+	}
+}
+
+func TestDecodeWAVRejectsGarbage(t *testing.T) {
+	_, err := DecodeWAV(strings.NewReader("this is not a wav file at all, padding to 44 bytes...."))
+	if !errors.Is(err, ErrNotWAV) {
+		t.Errorf("err = %v, want ErrNotWAV", err)
+	}
+	_, err = DecodeWAV(strings.NewReader("short"))
+	if err == nil {
+		t.Error("truncated header should error")
+	}
+}
+
+func TestDecodeWAVTruncatedData(t *testing.T) {
+	orig := NewBuffer(8000, 0.01)
+	var buf bytes.Buffer
+	if err := EncodeWAV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := DecodeWAV(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated data should error")
+	}
+}
+
+func TestDecodeWAVRejectsStereo(t *testing.T) {
+	orig := NewBuffer(8000, 0.01)
+	var buf bytes.Buffer
+	if err := EncodeWAV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[22] = 2 // channels = 2
+	if _, err := DecodeWAV(bytes.NewReader(raw)); !errors.Is(err, ErrNotWAV) {
+		t.Errorf("stereo should be rejected, got %v", err)
+	}
+}

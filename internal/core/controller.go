@@ -1,0 +1,109 @@
+package core
+
+import (
+	"mdn/internal/acoustic"
+	"mdn/internal/netsim"
+)
+
+// Controller is the Music-Defined Network controller: it polls its
+// microphone in fixed windows, runs the tone detector, and fans
+// detections out to subscribed applications. It can coexist with (or
+// replace) a conventional SDN controller — applications that need to
+// program switches hold openflow channels of their own.
+type Controller struct {
+	// Window is the capture/analysis window in seconds. The paper
+	// processes ~50 ms samples (Figure 2b).
+	Window float64
+	// Detector analyses each window.
+	Detector *Detector
+
+	sim    *netsim.Sim
+	mic    *acoustic.Microphone
+	ticker *netsim.Ticker
+
+	handlers      []func(Detection)
+	batchHandlers []func(window float64, dets []Detection)
+
+	// Windows counts analysed windows.
+	Windows uint64
+	// Detections counts tones seen (per window, before any onset
+	// filtering).
+	Detections uint64
+}
+
+// DefaultWindow is the controller's default capture window: 50 ms,
+// matching the paper's sample length.
+const DefaultWindow = 0.050
+
+// NewController builds a controller polling the given microphone.
+func NewController(sim *netsim.Sim, mic *acoustic.Microphone, det *Detector) *Controller {
+	return &Controller{
+		Window:   DefaultWindow,
+		Detector: det,
+		sim:      sim,
+		mic:      mic,
+	}
+}
+
+// Subscribe registers a per-detection handler.
+func (c *Controller) Subscribe(fn func(Detection)) {
+	c.handlers = append(c.handlers, fn)
+}
+
+// SubscribeWindows registers a per-window handler receiving the whole
+// detection batch (possibly empty) — what onset filters need.
+func (c *Controller) SubscribeWindows(fn func(windowStart float64, dets []Detection)) {
+	c.batchHandlers = append(c.batchHandlers, fn)
+}
+
+// Start begins polling at time at (the first analysed window is
+// [at, at+Window)). Call Stop to halt. Starting twice stops the
+// previous poller.
+func (c *Controller) Start(at float64) {
+	if c.ticker != nil {
+		c.ticker.Stop()
+	}
+	// The window ending at tick time t covers [t-Window, t): all
+	// emissions overlapping it were scheduled by events at earlier
+	// sim times, so capture is complete and causal.
+	c.ticker = c.sim.Every(at+c.Window, c.Window, func(now float64) {
+		c.analyse(now-c.Window, now)
+	})
+}
+
+// Stop halts polling.
+func (c *Controller) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+		c.ticker = nil
+	}
+}
+
+func (c *Controller) analyse(from, to float64) {
+	buf := c.mic.Capture(from, to)
+	dets := c.Detector.Detect(buf, from)
+	c.Windows++
+	c.Detections += uint64(len(dets))
+	for _, h := range c.batchHandlers {
+		h(from, dets)
+	}
+	for _, det := range dets {
+		for _, h := range c.handlers {
+			h(det)
+		}
+	}
+}
+
+// AnalyseOnce runs one out-of-band analysis over [from, to) without
+// the poll loop — used by passive applications (fan monitoring) and
+// tests.
+func (c *Controller) AnalyseOnce(from, to float64) []Detection {
+	buf := c.mic.Capture(from, to)
+	return c.Detector.Detect(buf, from)
+}
+
+// Mic returns the controller's microphone.
+func (c *Controller) Mic() *acoustic.Microphone { return c.mic }
+
+// Sim returns the controller's clock.
+func (c *Controller) Sim() *netsim.Sim { return c.sim }

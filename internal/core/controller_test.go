@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"mdn/internal/acoustic"
+	"mdn/internal/mp"
+)
+
+func TestControllerHearsScheduledTones(t *testing.T) {
+	tb := newTestbed(1)
+	voice := tb.voiceAt("s1", acoustic.Position{X: 1})
+	freqs := tb.plan.MustAllocate("s1", 2)
+	ctrl := tb.controller(freqs)
+
+	var dets []Detection
+	ctrl.Subscribe(func(d Detection) { dets = append(dets, d) })
+	ctrl.Start(0)
+
+	tb.sim.Schedule(0.5, func() { voice.Play(freqs[0]) })
+	tb.sim.Schedule(1.0, func() { voice.Play(freqs[1]) })
+	tb.sim.RunUntil(1.5)
+
+	heard := map[float64]bool{}
+	for _, d := range dets {
+		heard[d.Frequency] = true
+	}
+	if !heard[freqs[0]] || !heard[freqs[1]] {
+		t.Fatalf("heard = %v, want both of %v", heard, freqs)
+	}
+	if ctrl.Windows < 25 {
+		t.Errorf("windows = %d, want ~30 over 1.5 s", ctrl.Windows)
+	}
+	if ctrl.Detections == 0 {
+		t.Error("no detections counted")
+	}
+}
+
+func TestControllerWindowBatchesIncludeEmpties(t *testing.T) {
+	tb := newTestbed(2)
+	freqs := tb.plan.MustAllocate("s1", 1)
+	ctrl := tb.controller(freqs)
+	batches := 0
+	ctrl.SubscribeWindows(func(_ float64, dets []Detection) {
+		batches++
+		if len(dets) != 0 {
+			t.Errorf("silent room produced detections: %+v", dets)
+		}
+	})
+	ctrl.Start(0)
+	tb.sim.RunUntil(1)
+	if batches < 18 {
+		t.Errorf("batches = %d, want ~19", batches)
+	}
+}
+
+func TestControllerStopHalts(t *testing.T) {
+	tb := newTestbed(3)
+	ctrl := tb.controller([]float64{500})
+	ctrl.Start(0)
+	tb.sim.RunUntil(0.5)
+	w := ctrl.Windows
+	ctrl.Stop()
+	tb.sim.RunUntil(2)
+	if ctrl.Windows != w {
+		t.Errorf("windows grew after Stop: %d -> %d", w, ctrl.Windows)
+	}
+	// Stop again is harmless.
+	ctrl.Stop()
+}
+
+func TestControllerRestart(t *testing.T) {
+	tb := newTestbed(4)
+	ctrl := tb.controller([]float64{500})
+	ctrl.Start(0)
+	tb.sim.RunUntil(0.3)
+	ctrl.Start(0.3) // restart replaces the first poller
+	tb.sim.RunUntil(0.6)
+	// ~6 windows from the first run plus ~6 from the second; a
+	// doubled poller would give ~18.
+	if ctrl.Windows > 14 {
+		t.Errorf("windows = %d; restart leaked the old poller", ctrl.Windows)
+	}
+}
+
+func TestControllerAnalyseOnce(t *testing.T) {
+	tb := newTestbed(5)
+	voice := tb.voiceAt("s1", acoustic.Position{X: 1})
+	freqs := tb.plan.MustAllocate("s1", 1)
+	ctrl := tb.controller(freqs)
+	tb.sim.Schedule(0.2, func() { voice.Play(freqs[0]) })
+	tb.sim.RunUntil(1)
+	got := ctrl.AnalyseOnce(0.2, 0.3)
+	if len(got) != 1 || got[0].Frequency != freqs[0] {
+		t.Errorf("AnalyseOnce = %+v", got)
+	}
+	if len(ctrl.AnalyseOnce(0.5, 0.6)) != 0 {
+		t.Error("silence misdetected")
+	}
+}
+
+func TestControllerAccessors(t *testing.T) {
+	tb := newTestbed(6)
+	ctrl := tb.controller(nil)
+	if ctrl.Mic() != tb.mic || ctrl.Sim() != tb.sim {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestControllerMultipleSpeakersSimultaneously(t *testing.T) {
+	// Figure 2a in miniature: two switches play at once; both are
+	// identified because their sets are disjoint.
+	tb := newTestbed(7)
+	v1 := tb.voiceAt("s1", acoustic.Position{X: 1})
+	v2 := tb.voiceAt("s2", acoustic.Position{X: -1})
+	f1 := tb.plan.MustAllocate("s1", 1)
+	f2 := tb.plan.MustAllocate("s2", 1)
+	ctrl := tb.controller(append(append([]float64{}, f1...), f2...))
+	var heard []float64
+	ctrl.Subscribe(func(d Detection) { heard = append(heard, d.Frequency) })
+	ctrl.Start(0)
+	tb.sim.Schedule(0.5, func() {
+		v1.Play(f1[0])
+		v2.Play(f2[0])
+	})
+	tb.sim.RunUntil(1)
+	got := map[float64]bool{}
+	for _, f := range heard {
+		got[f] = true
+	}
+	if !got[f1[0]] || !got[f2[0]] {
+		t.Errorf("heard %v, want both %g and %g", heard, f1[0], f2[0])
+	}
+}
+
+func TestVoiceRateLimiting(t *testing.T) {
+	tb := newTestbed(8)
+	voice := tb.voiceAt("s1", acoustic.Position{X: 1})
+	tb.sim.Schedule(0, func() {
+		if !voice.Play(700) {
+			t.Error("first play should pass")
+		}
+		if voice.Play(700) {
+			t.Error("immediate replay should be suppressed")
+		}
+		if !voice.Play(720) {
+			t.Error("different frequency should pass")
+		}
+	})
+	tb.sim.Schedule(0.2, func() {
+		if !voice.Play(700) {
+			t.Error("replay after MinGap should pass")
+		}
+	})
+	tb.sim.Run()
+	if voice.Emitted != 3 || voice.Suppressed != 1 {
+		t.Errorf("emitted=%d suppressed=%d", voice.Emitted, voice.Suppressed)
+	}
+}
+
+func TestVoicePlayMessageBypassesRateLimit(t *testing.T) {
+	tb := newTestbed(9)
+	voice := tb.voiceAt("s1", acoustic.Position{X: 1})
+	tb.sim.Schedule(0, func() {
+		for i := 0; i < 3; i++ {
+			voice.PlayMessage(mp.Message{Frequency: 700, Duration: 0.05, Intensity: 60})
+		}
+	})
+	tb.sim.Run()
+	if voice.Emitted != 3 {
+		t.Errorf("emitted = %d", voice.Emitted)
+	}
+	if len(tb.room.Emissions()) != 3 {
+		t.Errorf("emissions = %d", len(tb.room.Emissions()))
+	}
+}

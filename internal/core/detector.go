@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math"
+
+	"mdn/internal/audio"
+	"mdn/internal/dsp"
+)
+
+// Method selects how the detector inspects a capture window.
+type Method int
+
+// Detection methods.
+const (
+	// MethodGoertzel evaluates one Goertzel filter per watched
+	// frequency — cheap when the watch list is small.
+	MethodGoertzel Method = iota
+	// MethodFFT computes one windowed FFT per capture and reads the
+	// watched bins — cheaper when the watch list is large (the
+	// paper's Figure 2 uses the FFT).
+	MethodFFT
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodGoertzel:
+		return "goertzel"
+	case MethodFFT:
+		return "fft"
+	default:
+		return "unknown"
+	}
+}
+
+// Detection is one tone observed in a capture window.
+type Detection struct {
+	// Time is the start of the capture window, in seconds.
+	Time float64
+	// Frequency is the watched frequency that fired, in Hz.
+	Frequency float64
+	// Amplitude is the estimated linear tone amplitude at the
+	// microphone.
+	Amplitude float64
+}
+
+// Detector finds watched frequencies in capture windows. The zero
+// value is unusable; construct with NewDetector.
+type Detector struct {
+	// Method selects Goertzel or FFT analysis.
+	Method Method
+	// MinAmplitude is the detection threshold: estimated tone
+	// amplitude at the microphone below this is noise.
+	MinAmplitude float64
+	// ToleranceHz is how far (in Hz) a spectral peak may sit from a
+	// watched frequency and still count (FFT method only; Goertzel
+	// evaluates the exact frequency).
+	ToleranceHz float64
+	// RelativeFloor rejects watched frequencies whose amplitude is
+	// below this fraction of the loudest watched frequency in the
+	// same window. It suppresses spectral leakage from loud tones
+	// (a rectangular window's first sidelobes sit near -13 dB) at
+	// the cost of masking tones more than 1/RelativeFloor quieter
+	// than a simultaneous loud one.
+	RelativeFloor float64
+
+	watch []float64
+}
+
+// DefaultMinAmplitude corresponds to a 30 dB SPL tone — the paper's
+// quietest — heard from 2 m, with 6 dB of margin.
+const DefaultMinAmplitude = 2.5e-4
+
+// NewDetector builds a detector watching the given frequencies.
+func NewDetector(method Method, watch []float64) *Detector {
+	w := make([]float64, len(watch))
+	copy(w, watch)
+	return &Detector{
+		Method:        method,
+		MinAmplitude:  DefaultMinAmplitude,
+		ToleranceHz:   DefaultSpacing / 2,
+		RelativeFloor: 0.15,
+		watch:         w,
+	}
+}
+
+// Watch returns the watched frequencies.
+func (d *Detector) Watch() []float64 {
+	out := make([]float64, len(d.watch))
+	copy(out, d.watch)
+	return out
+}
+
+// AddWatch extends the watch list.
+func (d *Detector) AddWatch(freqs ...float64) {
+	d.watch = append(d.watch, freqs...)
+}
+
+// Detect analyses one capture window and returns the watched tones
+// present in it, in watch-list order. windowStart stamps the
+// detections.
+func (d *Detector) Detect(buf *audio.Buffer, windowStart float64) []Detection {
+	if buf == nil || buf.Len() == 0 || len(d.watch) == 0 {
+		return nil
+	}
+	switch d.Method {
+	case MethodFFT:
+		return d.detectFFT(buf, windowStart)
+	default:
+		return d.detectGoertzel(buf, windowStart)
+	}
+}
+
+func (d *Detector) detectGoertzel(buf *audio.Buffer, windowStart float64) []Detection {
+	n := float64(buf.Len())
+	amps := make([]float64, len(d.watch))
+	for i, f := range d.watch {
+		mag := dsp.Goertzel(buf.Samples, f, buf.SampleRate)
+		// A sinusoid of amplitude A spanning the whole window yields
+		// a Goertzel magnitude of A*n/2.
+		amps[i] = 2 * mag / n
+	}
+	return d.filter(amps, windowStart)
+}
+
+// filter applies the absolute and relative thresholds to per-watch
+// amplitude estimates.
+func (d *Detector) filter(amps []float64, windowStart float64) []Detection {
+	maxAmp := 0.0
+	for _, a := range amps {
+		if a > maxAmp {
+			maxAmp = a
+		}
+	}
+	floor := d.MinAmplitude
+	if rel := d.RelativeFloor * maxAmp; rel > floor {
+		floor = rel
+	}
+	var out []Detection
+	for i, a := range amps {
+		if a >= floor {
+			out = append(out, Detection{Time: windowStart, Frequency: d.watch[i], Amplitude: a})
+		}
+	}
+	return out
+}
+
+func (d *Detector) detectFFT(buf *audio.Buffer, windowStart float64) []Detection {
+	n := buf.Len()
+	mags, fftSize := dsp.WindowedSpectrum(buf.Samples, dsp.Hann)
+	gain := dsp.Hann.Gain(n)
+	amps := make([]float64, len(d.watch))
+	for i, f := range d.watch {
+		center := dsp.FrequencyBin(f, fftSize, buf.SampleRate)
+		span := int(math.Ceil(d.ToleranceHz / dsp.BinResolution(fftSize, buf.SampleRate)))
+		best := 0.0
+		for k := center - span; k <= center+span; k++ {
+			if k >= 0 && k < len(mags) && mags[k] > best {
+				best = mags[k]
+			}
+		}
+		// Amplitude estimate: FFT bin magnitude of a full-window
+		// sinusoid is A*n*gain/2 (window coherent gain).
+		amps[i] = 2 * best / (float64(n) * gain)
+	}
+	return d.filter(amps, windowStart)
+}
+
+// OnsetFilter turns per-window presence into confirmed tone events: a
+// frequency must be present for ConfirmWindows consecutive windows to
+// fire once, and must then fall silent for HoldWindows windows before
+// it may fire again. MDN applications count tones, not windows, so
+// nearly every app wraps the controller's detections in one of these.
+//
+// The confirmation requirement is what rejects tone-onset splatter:
+// the first few milliseconds of any tone look impulse-like and excite
+// every watched frequency in that boundary window, but only the true
+// frequency stays present in the next one.
+type OnsetFilter struct {
+	// ConfirmWindows is how many consecutive windows a frequency
+	// must be present before the onset fires (default 2).
+	ConfirmWindows int
+	// HoldWindows is how many consecutive silent windows must pass
+	// before the same frequency may fire again (default 1).
+	HoldWindows int
+
+	states map[float64]*onsetState
+}
+
+type onsetState struct {
+	streak int  // consecutive windows present
+	fired  bool // onset emitted for the current activity burst
+	silent int  // consecutive silent windows since last presence
+}
+
+// NewOnsetFilter returns a filter with 2-window confirmation that
+// re-arms after one silent window.
+func NewOnsetFilter() *OnsetFilter {
+	return &OnsetFilter{ConfirmWindows: 2, HoldWindows: 1, states: make(map[float64]*onsetState)}
+}
+
+// Step consumes the detections of one window and returns the
+// confirmed onsets. Call it once per controller window, in order,
+// even when detections is empty (silence advances the re-arm
+// countdown).
+func (o *OnsetFilter) Step(detections []Detection) []Detection {
+	present := make(map[float64]bool, len(detections))
+	var onsets []Detection
+	for _, det := range detections {
+		present[det.Frequency] = true
+		st := o.states[det.Frequency]
+		if st == nil {
+			st = &onsetState{}
+			o.states[det.Frequency] = st
+		}
+		st.streak++
+		st.silent = 0
+		if !st.fired && st.streak >= o.ConfirmWindows {
+			st.fired = true
+			onsets = append(onsets, det)
+		}
+	}
+	for f, st := range o.states {
+		if present[f] {
+			continue
+		}
+		st.streak = 0
+		st.silent++
+		if st.silent >= o.HoldWindows {
+			delete(o.states, f)
+		}
+	}
+	return onsets
+}

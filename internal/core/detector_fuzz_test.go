@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdn/internal/audio"
+)
+
+// TestDetectorFuzzRandomToneSets is a statistical robustness test:
+// across many random trials, a random subset of guard-banded watched
+// frequencies plays (full-window tones, moderate white noise) and the
+// detector must recover exactly that subset.
+func TestDetectorFuzzRandomToneSets(t *testing.T) {
+	const (
+		sampleRate = 44100.0
+		trials     = 60
+		nWatch     = 10
+		windowDur  = 0.100
+	)
+	rng := rand.New(rand.NewSource(777))
+	failures := 0
+	for trial := 0; trial < trials; trial++ {
+		base := 500 + rng.Float64()*1500
+		watch := make([]float64, nWatch)
+		for i := range watch {
+			watch[i] = base + 80*float64(i)
+		}
+		// Random non-empty subset plays.
+		var playing []int
+		for i := range watch {
+			if rng.Float64() < 0.4 {
+				playing = append(playing, i)
+			}
+		}
+		if len(playing) == 0 {
+			playing = []int{rng.Intn(nWatch)}
+		}
+		buf := audio.NewBuffer(sampleRate, windowDur)
+		for _, i := range playing {
+			tone := audio.Tone{
+				Frequency: watch[i], Duration: windowDur,
+				Amplitude: 0.01 + rng.Float64()*0.03,
+				Phase:     rng.Float64() * 6.28,
+			}
+			buf.MixAt(tone.Render(sampleRate), 0, 1)
+		}
+		buf.MixAt(audio.WhiteNoise(sampleRate, windowDur, 0.001, int64(trial)), 0, 1)
+
+		for _, method := range []Method{MethodGoertzel, MethodFFT} {
+			det := NewDetector(method, watch)
+			// Equal-ish amplitudes: relax the relative floor so a
+			// 4x amplitude spread cannot mask quiet tones.
+			det.RelativeFloor = 0.1
+			got := det.Detect(buf, 0)
+			gotSet := map[float64]bool{}
+			for _, d := range got {
+				gotSet[d.Frequency] = true
+			}
+			ok := len(got) == len(playing)
+			for _, i := range playing {
+				if !gotSet[watch[i]] {
+					ok = false
+				}
+			}
+			if !ok {
+				failures++
+				t.Logf("trial %d method %v: played %v, detected %d tones",
+					trial, method, playing, len(got))
+			}
+		}
+	}
+	// Allow a small statistical failure budget (quiet tone next to a
+	// loud one can dip under the relative floor).
+	if failures > trials/10 {
+		t.Errorf("fuzz failures = %d of %d trials x 2 methods", failures, trials)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+
+	"mdn/internal/dsp"
+)
+
+// FanState classifies a monitored fan — the paper's Section 7 open
+// question (1), "how many distinct server anomalies can we
+// recognize?". Beyond on/off, the harmonic ladder's position reveals
+// speed anomalies: a slipping or obstructed fan spins slower, moving
+// the whole blade-pass ladder down in frequency.
+type FanState int
+
+// Recognisable fan states.
+const (
+	// FanHealthy: fundamental present at the trained frequency.
+	FanHealthy FanState = iota
+	// FanStopped: no fundamental anywhere near the trained band.
+	FanStopped
+	// FanSpeedAnomaly: a strong fundamental exists but at a shifted
+	// frequency (slipping belt, failing bearing, dust-loaded blades,
+	// or a misconfigured fan curve).
+	FanSpeedAnomaly
+)
+
+// String names the state.
+func (s FanState) String() string {
+	switch s {
+	case FanHealthy:
+		return "healthy"
+	case FanStopped:
+		return "stopped"
+	case FanSpeedAnomaly:
+		return "speed-anomaly"
+	default:
+		return "unknown"
+	}
+}
+
+// FanDiagnosis is the result of classifying a capture window.
+type FanDiagnosis struct {
+	// State is the classification.
+	State FanState
+	// FundamentalHz is the strongest blade-pass candidate found (0
+	// when stopped).
+	FundamentalHz float64
+	// FrequencyShift is the relative deviation from the trained
+	// fundamental (e.g. -0.17 for a fan running 17% slow).
+	FrequencyShift float64
+	// Amplitude is the found fundamental's amplitude.
+	Amplitude float64
+}
+
+// Diagnose classifies the fan over [from, to). It extends Check with
+// a fundamental search: the power spectrum is scanned over
+// [0.5, 1.2]× the trained blade-pass frequency for the strongest
+// peak, which is then compared in frequency and amplitude against the
+// baseline. Requires a trained monitor.
+func (fm *FanMonitor) Diagnose(from, to float64) (FanDiagnosis, error) {
+	if !fm.trained {
+		return FanDiagnosis{}, ErrNotTrained
+	}
+	f0 := fm.Harmonics[0]
+	baseAmp := fm.baseline[0]
+
+	buf := fm.mic.Capture(from, to)
+	n := buf.Len()
+	if n == 0 {
+		return FanDiagnosis{State: FanStopped}, nil
+	}
+	spec, fftSize := dsp.WindowedPowerSpectrum(buf.Samples, dsp.Hann)
+
+	lo := dsp.FrequencyBin(0.5*f0, fftSize, buf.SampleRate)
+	hi := dsp.FrequencyBin(1.2*f0, fftSize, buf.SampleRate)
+	best := lo
+	for k := lo; k <= hi && k < len(spec); k++ {
+		if spec[k] > spec[best] {
+			best = k
+		}
+	}
+	foundHz := dsp.BinFrequency(best, fftSize, buf.SampleRate)
+	// Amplitude estimate from the windowed FFT peak.
+	gain := dsp.Hann.Gain(n)
+	amp := 2 * math.Sqrt(spec[best]) / (float64(n) * gain)
+
+	d := FanDiagnosis{FundamentalHz: foundHz, Amplitude: amp}
+	d.FrequencyShift = (foundHz - f0) / f0
+	switch {
+	case amp < 0.25*baseAmp:
+		d.State = FanStopped
+		d.FundamentalHz = 0
+		d.FrequencyShift = 0
+	case math.Abs(d.FrequencyShift) > 0.05:
+		d.State = FanSpeedAnomaly
+	default:
+		d.State = FanHealthy
+	}
+	return d, nil
+}
+
+// RPMEstimate converts a diagnosed fundamental back to RPM given the
+// fan's blade count (fundamental = RPM/60 × blades).
+func (d FanDiagnosis) RPMEstimate(blades int) float64 {
+	if blades <= 0 || d.FundamentalHz <= 0 {
+		return 0
+	}
+	return d.FundamentalHz * 60 / float64(blades)
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mdn/internal/acoustic"
+	"mdn/internal/audio"
+)
+
+// diagBed: a healthy fan until t=10, then one of several anomalies.
+func newDiagBed(t *testing.T, seed int64, after string) *FanMonitor {
+	t.Helper()
+	tb := newTestbed(seed)
+	const changeAt = 10.0
+	healthy, fan := FanSource(44100, 2.0, 0.3, acoustic.Position{X: 0.3}, seed)
+	healthy.Until = changeAt
+	tb.room.AddNoise(healthy)
+	switch after {
+	case "stopped":
+		// nothing after changeAt
+	case "slow":
+		slowFan := audio.Fan{RPM: 7200, Blades: 7, Level: 0.3, Seed: seed + 5}
+		tb.room.AddNoise(&acoustic.NoiseSource{
+			Name: "slow-fan", Pos: acoustic.Position{X: 0.3},
+			Loop: slowFan.Render(44100, 2.0), From: changeAt,
+		})
+	case "healthy":
+		cont, _ := FanSource(44100, 2.0, 0.3, acoustic.Position{X: 0.3}, seed+9)
+		cont.Name = "continued-fan"
+		cont.From = changeAt
+		tb.room.AddNoise(cont)
+	}
+	tb.room.AddNoise(OfficeNoise(44100, 3.0, seed+1))
+	fm := NewFanMonitor(tb.mic, fan.HarmonicFrequencies())
+	if err := fm.Train(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	return fm
+}
+
+func TestDiagnoseHealthy(t *testing.T) {
+	fm := newDiagBed(t, 200, "healthy")
+	d, err := fm.Diagnose(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.State != FanHealthy {
+		t.Errorf("state = %s, want healthy (%+v)", d.State, d)
+	}
+	if math.Abs(d.FundamentalHz-1050) > 25 {
+		t.Errorf("fundamental = %g, want ~1050", d.FundamentalHz)
+	}
+	if rpm := d.RPMEstimate(7); math.Abs(rpm-9000) > 250 {
+		t.Errorf("RPM estimate = %g, want ~9000", rpm)
+	}
+}
+
+func TestDiagnoseStopped(t *testing.T) {
+	fm := newDiagBed(t, 201, "stopped")
+	d, err := fm.Diagnose(11, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.State != FanStopped {
+		t.Errorf("state = %s, want stopped (%+v)", d.State, d)
+	}
+	if d.RPMEstimate(7) != 0 {
+		t.Error("stopped fan should have zero RPM estimate")
+	}
+}
+
+func TestDiagnoseSpeedAnomaly(t *testing.T) {
+	// Fan drops from 9000 to 7200 RPM: blade-pass 1050 -> 840 Hz,
+	// a -20% shift.
+	fm := newDiagBed(t, 202, "slow")
+	d, err := fm.Diagnose(11, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.State != FanSpeedAnomaly {
+		t.Fatalf("state = %s, want speed-anomaly (%+v)", d.State, d)
+	}
+	if math.Abs(d.FundamentalHz-840) > 30 {
+		t.Errorf("shifted fundamental = %g, want ~840", d.FundamentalHz)
+	}
+	if d.FrequencyShift > -0.15 || d.FrequencyShift < -0.25 {
+		t.Errorf("shift = %g, want ~-0.20", d.FrequencyShift)
+	}
+	if rpm := d.RPMEstimate(7); math.Abs(rpm-7200) > 300 {
+		t.Errorf("RPM estimate = %g, want ~7200", rpm)
+	}
+}
+
+func TestDiagnoseRequiresTraining(t *testing.T) {
+	tb := newTestbed(203)
+	fm := NewFanMonitor(tb.mic, []float64{1050})
+	if _, err := fm.Diagnose(0, 1); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFanStateString(t *testing.T) {
+	if FanHealthy.String() != "healthy" || FanStopped.String() != "stopped" ||
+		FanSpeedAnomaly.String() != "speed-anomaly" || FanState(9).String() != "unknown" {
+		t.Error("state names wrong")
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"mdn/internal/acoustic"
+)
+
+// fanBed builds the Section 7 listening scenario: a server fan 0.3 m
+// from the microphone, running from t=0 to failAt, inside the given
+// ambience ("datacenter", "office", or "quiet").
+type fanBed struct {
+	*testbed
+	fm     *FanMonitor
+	failAt float64
+}
+
+func newFanBed(t *testing.T, seed int64, ambience string, failAt float64) *fanBed {
+	t.Helper()
+	tb := newTestbed(seed)
+	fanSrc, fan := FanSource(44100, 2.0, 0.3, acoustic.Position{X: 0.3}, seed)
+	fanSrc.Until = failAt
+	tb.room.AddNoise(fanSrc)
+	switch ambience {
+	case "datacenter":
+		tb.room.AddNoise(DatacenterNoise(44100, 3.0, seed+1))
+	case "office":
+		tb.room.AddNoise(OfficeNoise(44100, 3.0, seed+1))
+	}
+	fm := NewFanMonitor(tb.mic, fan.HarmonicFrequencies())
+	return &fanBed{testbed: tb, fm: fm, failAt: failAt}
+}
+
+func TestFanMonitorRequiresTraining(t *testing.T) {
+	bed := newFanBed(t, 50, "quiet", 100)
+	if _, err := bed.fm.Score(0, 1); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("err = %v, want ErrNotTrained", err)
+	}
+	if err := bed.fm.Train(0, 0.1); err == nil {
+		t.Error("too-short training interval accepted")
+	}
+	if bed.fm.Baseline() != nil {
+		t.Error("baseline should be nil before training")
+	}
+}
+
+func TestFanMonitorDetectsFailureQuietRoom(t *testing.T) {
+	bed := newFanBed(t, 51, "quiet", 10)
+	if err := bed.fm.Train(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Healthy check.
+	failed, score, err := bed.fm.Check(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Errorf("healthy fan flagged, score %g", score)
+	}
+	// After failure at t=10.
+	failed, score, err = bed.fm.Check(11, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Errorf("failed fan missed, score %g", score)
+	}
+	if score < 0.8 {
+		t.Errorf("failure score %g, want near 1 in a quiet room", score)
+	}
+}
+
+func TestFanMonitorDetectsFailureInDatacenter(t *testing.T) {
+	// The paper's headline question: can a single server's fan
+	// failure be heard despite ~85 dBA datacenter noise, with a
+	// closely placed microphone? Answer: yes.
+	bed := newFanBed(t, 52, "datacenter", 10)
+	if err := bed.fm.Train(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	failedHealthy, scoreHealthy, err := bed.fm.Check(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failedDead, scoreDead, err := bed.fm.Check(11, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failedHealthy {
+		t.Errorf("healthy fan flagged under datacenter noise (score %g)", scoreHealthy)
+	}
+	if !failedDead {
+		t.Errorf("dead fan missed under datacenter noise (score %g)", scoreDead)
+	}
+	if scoreDead < 2*scoreHealthy {
+		t.Errorf("weak separation: healthy %g vs dead %g", scoreHealthy, scoreDead)
+	}
+}
+
+func TestFanMonitorDetectsFailureInOffice(t *testing.T) {
+	bed := newFanBed(t, 53, "office", 10)
+	if err := bed.fm.Train(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	failed, _, err := bed.fm.Check(4, 6)
+	if err != nil || failed {
+		t.Errorf("healthy office check: failed=%v err=%v", failed, err)
+	}
+	failed, score, err := bed.fm.Check(11, 13)
+	if err != nil || !failed {
+		t.Errorf("dead office check: failed=%v score=%g err=%v", failed, score, err)
+	}
+}
+
+func TestFanMonitorAmplitudeDiffStatistic(t *testing.T) {
+	// Figure 7's exact comparison: on-vs-off difference must far
+	// exceed on-vs-on.
+	bed := newFanBed(t, 54, "datacenter", 10)
+	if err := bed.fm.Train(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	onVsOn := bed.fm.AmplitudeDiff(1, 3, 4, 6)
+	onVsOff := bed.fm.AmplitudeDiff(1, 3, 11, 13)
+	if onVsOff < 3*onVsOn {
+		t.Errorf("on-vs-off %g should dominate on-vs-on %g", onVsOff, onVsOn)
+	}
+}
+
+func TestFanMonitorBaselineCopy(t *testing.T) {
+	bed := newFanBed(t, 55, "quiet", 100)
+	if err := bed.fm.Train(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	b := bed.fm.Baseline()
+	if len(b) != len(bed.fm.Harmonics) {
+		t.Fatalf("baseline len = %d", len(b))
+	}
+	b[0] = -1
+	if bed.fm.Baseline()[0] == -1 {
+		t.Error("Baseline leaked internal state")
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// KnockGenerator derives time-rotating port-knock sequences from a
+// shared secret, TOTP-style: HMAC-SHA256(secret, epoch) selects the
+// knock ports for each time window. Section 4 presents port knocking
+// "as a form of authentication"; a static sequence is a replayable
+// password, while a rotating sequence bounds replay to one epoch —
+// the constructive version of the paper's claim.
+type KnockGenerator struct {
+	// EpochSeconds is the rotation period (default 30, like TOTP).
+	EpochSeconds float64
+	// Length is the knock-sequence length (default 3, like the
+	// paper's experiment).
+	Length int
+	// PortBase and PortRange bound the derived ports:
+	// [PortBase, PortBase+PortRange).
+	PortBase  uint16
+	PortRange uint16
+
+	secret []byte
+}
+
+// NewKnockGenerator builds a generator over the shared secret.
+func NewKnockGenerator(secret []byte) *KnockGenerator {
+	s := make([]byte, len(secret))
+	copy(s, secret)
+	return &KnockGenerator{
+		EpochSeconds: 30,
+		Length:       3,
+		PortBase:     40000,
+		PortRange:    1024,
+		secret:       s,
+	}
+}
+
+// Epoch returns the epoch counter for a point in time.
+func (kg *KnockGenerator) Epoch(at float64) uint64 {
+	if at < 0 {
+		at = 0
+	}
+	return uint64(at / kg.EpochSeconds)
+}
+
+// SequenceAt derives the knock sequence valid at time at. Consecutive
+// derived ports are guaranteed distinct so each knock produces a
+// distinct tone onset.
+func (kg *KnockGenerator) SequenceAt(at float64) []uint16 {
+	return kg.sequenceForEpoch(kg.Epoch(at))
+}
+
+func (kg *KnockGenerator) sequenceForEpoch(epoch uint64) []uint16 {
+	mac := hmac.New(sha256.New, kg.secret)
+	var msg [8]byte
+	binary.BigEndian.PutUint64(msg[:], epoch)
+	mac.Write(msg[:])
+	sum := mac.Sum(nil)
+
+	out := make([]uint16, kg.Length)
+	var prev uint16
+	for i := 0; i < kg.Length; i++ {
+		raw := binary.BigEndian.Uint16(sum[(i*2)%len(sum):])
+		port := kg.PortBase + raw%kg.PortRange
+		if i > 0 && port == prev {
+			// Distinct consecutive knocks: bump within the range.
+			port = kg.PortBase + (raw+1)%kg.PortRange
+		}
+		out[i] = port
+		prev = port
+	}
+	return out
+}
+
+// Verify reports whether a candidate sequence is valid at time at,
+// accepting the current epoch and (to absorb clock skew at the epoch
+// boundary) the immediately preceding one.
+func (kg *KnockGenerator) Verify(at float64, candidate []uint16) bool {
+	epoch := kg.Epoch(at)
+	if equalPorts(candidate, kg.sequenceForEpoch(epoch)) {
+		return true
+	}
+	if epoch > 0 && equalPorts(candidate, kg.sequenceForEpoch(epoch-1)) {
+		return true
+	}
+	return false
+}
+
+func equalPorts(a, b []uint16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String describes the generator without leaking the secret.
+func (kg *KnockGenerator) String() string {
+	return fmt.Sprintf("KnockGenerator(epoch=%.0fs len=%d ports=[%d,%d))",
+		kg.EpochSeconds, kg.Length, kg.PortBase, kg.PortBase+kg.PortRange)
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"mdn/internal/openflow"
+)
+
+// LoadBalancer is the Section 6 traffic-engineering application: it
+// listens for a queue monitor's "congested" tone and, on first
+// hearing it, sends the Flow-MOD that splits traffic across two
+// ports (Figure 5a-b). The entire control loop is out-of-band: the
+// only signal from switch to controller is sound.
+type LoadBalancer struct {
+	// SplitRule is the Flow-MOD installed on congestion.
+	SplitRule openflow.FlowMod
+	// OneShot keeps the balancer from re-sending the rule on every
+	// subsequent congested tone (the paper's experiment splits
+	// once).
+	OneShot bool
+
+	qm      *QueueMonitor
+	channel *openflow.Channel
+	onset   *OnsetFilter
+
+	// Triggered reports whether the split rule was sent.
+	Triggered bool
+	// TriggeredAt is the virtual time of the trigger.
+	TriggeredAt float64
+	// Triggers counts congestion tones acted upon.
+	Triggers uint64
+}
+
+// NewLoadBalancer listens to the queue monitor's tones and programs
+// the switch behind ch when congestion is heard.
+func NewLoadBalancer(qm *QueueMonitor, ch *openflow.Channel, splitRule openflow.FlowMod) *LoadBalancer {
+	return &LoadBalancer{
+		SplitRule: splitRule,
+		OneShot:   true,
+		qm:        qm,
+		channel:   ch,
+		onset:     NewOnsetFilter(),
+	}
+}
+
+// HandleWindow is the controller-side hook (wire via
+// Controller.SubscribeWindows, after the queue monitor's own
+// HandleWindow so Heard stays consistent).
+func (lb *LoadBalancer) HandleWindow(_ float64, dets []Detection) {
+	// Confirmed onsets only: tone-boundary splatter from the low and
+	// mid tones must not masquerade as congestion.
+	for _, det := range lb.onset.Step(dets) {
+		if lb.qm.LevelFor(det.Frequency) != LevelHigh {
+			continue
+		}
+		if lb.OneShot && lb.Triggered {
+			return
+		}
+		lb.Triggers++
+		lb.Triggered = true
+		lb.TriggeredAt = det.Time
+		if err := lb.channel.SendFlowMod(lb.SplitRule); err != nil {
+			panic(err)
+		}
+		return
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"mdn/internal/acoustic"
+)
+
+func TestMelodyEncodeShape(t *testing.T) {
+	tb := newTestbed(80)
+	mc, err := NewMelodyCodec(tb.plan, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tones, err := mc.Encode([]byte{0xAB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// start, hi nibble, lo nibble, start.
+	if len(tones) != 4 {
+		t.Fatalf("tones = %v", tones)
+	}
+	freqs := mc.Frequencies()
+	if tones[0] != freqs[0] || tones[3] != freqs[0] {
+		t.Error("message not framed by start markers")
+	}
+	if tones[1] != freqs[1+0xA] || tones[2] != freqs[1+0xB] {
+		t.Errorf("nibble tones wrong: %v", tones)
+	}
+}
+
+func TestMelodyRejectsOversize(t *testing.T) {
+	tb := newTestbed(81)
+	mc, err := NewMelodyCodec(tb.plan, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Encode(make([]byte, 65)); err != ErrMelodyTooLong {
+		t.Errorf("err = %v, want ErrMelodyTooLong", err)
+	}
+}
+
+func TestMelodyDecodeSymbolStream(t *testing.T) {
+	// Pure decode logic: feed the symbol stream directly.
+	tb := newTestbed(82)
+	mc, err := NewMelodyCodec(tb.plan, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("ok!")
+	tones, _ := mc.Encode(msg)
+	for _, f := range tones {
+		mc.consume(f)
+	}
+	if len(mc.Messages) != 1 || !bytes.Equal(mc.Messages[0], msg) {
+		t.Fatalf("decoded %q", mc.Messages)
+	}
+}
+
+func TestMelodyDecodeSymbolStreamProperty(t *testing.T) {
+	tb := newTestbed(83)
+	mc, err := NewMelodyCodec(tb.plan, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(msg []byte) bool {
+		if len(msg) == 0 || len(msg) > 64 {
+			return true
+		}
+		mc.Messages = nil
+		tones, err := mc.Encode(msg)
+		if err != nil {
+			return false
+		}
+		for _, fr := range tones {
+			mc.consume(fr)
+		}
+		return len(mc.Messages) == 1 && bytes.Equal(mc.Messages[0], msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMelodyIgnoresPreambleGarbage(t *testing.T) {
+	tb := newTestbed(84)
+	mc, err := NewMelodyCodec(tb.plan, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nibble tones before any start marker must be ignored.
+	mc.consume(mc.nibbles[3])
+	mc.consume(mc.nibbles[7])
+	tones, _ := mc.Encode([]byte{0x42})
+	for _, f := range tones {
+		mc.consume(f)
+	}
+	if len(mc.Messages) != 1 || mc.Messages[0][0] != 0x42 {
+		t.Fatalf("decoded %v", mc.Messages)
+	}
+}
+
+func TestMelodyOverAir(t *testing.T) {
+	// Full loop: transmit through the room, decode at the
+	// controller.
+	tb := newTestbed(85)
+	voice := tb.voiceAt("s1", acoustic.Position{X: 1.5})
+	mc, err := NewMelodyCodec(tb.plan, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := tb.controller(mc.Frequencies())
+	ctrl.SubscribeWindows(mc.HandleWindow)
+	ctrl.Start(0)
+
+	msg := []byte{0xDE, 0xAD}
+	last, err := mc.Transmit(voice, 0.5, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.sim.RunUntil(last + 1)
+
+	if len(mc.Messages) != 1 {
+		t.Fatalf("decoded %d messages, want 1", len(mc.Messages))
+	}
+	if !bytes.Equal(mc.Messages[0], msg) {
+		t.Errorf("decoded % x, want % x", mc.Messages[0], msg)
+	}
+}
+
+func TestMelodyTwoMessagesOverAir(t *testing.T) {
+	tb := newTestbed(86)
+	voice := tb.voiceAt("s1", acoustic.Position{X: 1.5})
+	mc, err := NewMelodyCodec(tb.plan, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := tb.controller(mc.Frequencies())
+	ctrl.SubscribeWindows(mc.HandleWindow)
+	ctrl.Start(0)
+
+	m1 := []byte{0x01}
+	m2 := []byte{0x55} // repeated nibble: exercises same-tone pacing
+	end1, err := mc.Transmit(voice, 0.5, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end2, err := mc.Transmit(voice, end1+1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.sim.RunUntil(end2 + 1)
+
+	if len(mc.Messages) != 2 {
+		t.Fatalf("decoded %d messages, want 2 (%v)", len(mc.Messages), mc.Messages)
+	}
+	if !bytes.Equal(mc.Messages[0], m1) || !bytes.Equal(mc.Messages[1], m2) {
+		t.Errorf("decoded %v", mc.Messages)
+	}
+}
+
+func TestMelodyString(t *testing.T) {
+	tb := newTestbed(87)
+	mc, err := NewMelodyCodec(tb.plan, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.String() == "" {
+		t.Error("empty String()")
+	}
+}

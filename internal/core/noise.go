@@ -1,0 +1,60 @@
+package core
+
+import (
+	"mdn/internal/acoustic"
+	"mdn/internal/audio"
+)
+
+// Background-noise helpers shared by the noisy-telemetry experiments
+// (Figures 4b and 4d play Sia's "Cheap Thrills" as interference; the
+// fan experiments need datacenter and office ambiences). Each returns
+// a ready NoiseSource the caller can reposition before adding to the
+// room.
+
+// PopSongNoise builds the paper's pop-song interference: loopDur
+// seconds of the deterministic 90 BPM arrangement at the given peak
+// level, placed 2 m from the origin by default.
+func PopSongNoise(sampleRate, loopDur, level float64, seed int64) *acoustic.NoiseSource {
+	return &acoustic.NoiseSource{
+		Name: "cheap-thrills",
+		Pos:  acoustic.Position{X: -1.5, Y: 1.5},
+		Loop: audio.PopSong(level, seed).Render(sampleRate, loopDur),
+		Gain: 1,
+	}
+}
+
+// DatacenterNoise builds the ~85 dBA machine-room ambience used by
+// the Figure 6/7 experiments.
+func DatacenterNoise(sampleRate, loopDur float64, seed int64) *acoustic.NoiseSource {
+	rms := acoustic.SPLToAmplitude(85)
+	return &acoustic.NoiseSource{
+		Name: "datacenter",
+		Pos:  acoustic.Position{X: 0, Y: 2},
+		Loop: audio.DatacenterAmbience(sampleRate, loopDur, rms, seed),
+		Gain: 1,
+	}
+}
+
+// OfficeNoise builds the ~50 dBA office ambience.
+func OfficeNoise(sampleRate, loopDur float64, seed int64) *acoustic.NoiseSource {
+	rms := acoustic.SPLToAmplitude(50)
+	return &acoustic.NoiseSource{
+		Name: "office",
+		Pos:  acoustic.Position{X: 0, Y: 2},
+		Loop: audio.OfficeAmbience(sampleRate, loopDur, rms, seed),
+		Gain: 1,
+	}
+}
+
+// FanSource places a running server fan in the room as a noise
+// source (the Section 7 foreground fan). level is the blade-pass
+// amplitude at the fan.
+func FanSource(sampleRate, loopDur, level float64, pos acoustic.Position, seed int64) (*acoustic.NoiseSource, audio.Fan) {
+	fan := audio.DefaultFan(level, seed)
+	return &acoustic.NoiseSource{
+		Name: "server-fan",
+		Pos:  pos,
+		Loop: fan.Render(sampleRate, loopDur),
+		Gain: 1,
+	}, fan
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"mdn/internal/acoustic"
+	"mdn/internal/netsim"
+)
+
+type scanBed struct {
+	*testbed
+	h1, h2 *netsim.Host
+	sw     *netsim.Switch
+	ps     *PortScan
+	ctrl   *Controller
+}
+
+func newScanBed(t *testing.T, seed int64, firstPort uint16, numPorts int) *scanBed {
+	t.Helper()
+	tb := newTestbed(seed)
+	h1 := netsim.NewHost(tb.sim, "h1", netsim.MustAddr("10.0.0.1"))
+	h2 := netsim.NewHost(tb.sim, "h2", netsim.MustAddr("10.0.0.2"))
+	sw := netsim.NewSwitch(tb.sim, "s1")
+	netsim.Connect(tb.sim, h1, 1, sw, 1, 1e9, 0.0001, 0)
+	netsim.Connect(tb.sim, h2, 1, sw, 2, 1e9, 0.0001, 0)
+	sw.InstallRule(netsim.Rule{Priority: 1, Match: netsim.Match{Dst: h2.Addr}, Action: netsim.Output(2)})
+
+	voice := tb.voiceAt("s1", acoustic.Position{X: 1.2})
+	ps, err := NewPortScan(tb.plan, "s1", voice, firstPort, numPorts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Tap = ps.Tap
+	ctrl := tb.controller(ps.Frequencies())
+	ps.Start(ctrl, 0)
+	ctrl.Start(0)
+	return &scanBed{testbed: tb, h1: h1, h2: h2, sw: sw, ps: ps, ctrl: ctrl}
+}
+
+func TestPortScanDetectsSequentialScan(t *testing.T) {
+	bed := newScanBed(t, 30, 8000, 24)
+	base := netsim.FiveTuple{
+		Src: bed.h1.Addr, Dst: bed.h2.Addr,
+		SrcPort: 44444, Proto: netsim.ProtoTCP,
+	}
+	// One probe per 200 ms — a naive sequential scan.
+	netsim.StartPortScan(bed.sim, bed.h1, base, 8000, 24, 0.2, 0.2)
+	bed.sim.RunUntil(6)
+
+	if len(bed.ps.Alerts) == 0 {
+		t.Fatalf("scan not detected; sweep had %d onsets", len(bed.ps.Sweep))
+	}
+	if got := bed.ps.Alerts[0].DistinctPorts; got < bed.ps.Threshold {
+		t.Errorf("alert with %d ports, below threshold %d", got, bed.ps.Threshold)
+	}
+	// The sweep must be (weakly) monotone in frequency — the
+	// paper's spectrogram line.
+	if !bed.ps.SweepIsMonotone() {
+		t.Error("sweep not monotone")
+	}
+	if len(bed.ps.Sweep) < 20 {
+		t.Errorf("sweep captured %d of 24 probes", len(bed.ps.Sweep))
+	}
+}
+
+func TestPortScanIgnoresNormalTraffic(t *testing.T) {
+	bed := newScanBed(t, 31, 8000, 24)
+	// Steady traffic to two ports: never enough distinct ports.
+	f1 := netsim.FiveTuple{Src: bed.h1.Addr, Dst: bed.h2.Addr, SrcPort: 1, DstPort: 8003, Proto: netsim.ProtoTCP}
+	f2 := netsim.FiveTuple{Src: bed.h1.Addr, Dst: bed.h2.Addr, SrcPort: 2, DstPort: 8010, Proto: netsim.ProtoTCP}
+	netsim.StartCBR(bed.sim, bed.h1, f1, 20, 500, 0, 4)
+	netsim.StartCBR(bed.sim, bed.h1, f2, 20, 500, 0, 4)
+	bed.sim.RunUntil(4)
+	if len(bed.ps.Alerts) != 0 {
+		t.Errorf("normal traffic raised %d scan alerts", len(bed.ps.Alerts))
+	}
+}
+
+func TestPortScanDetectsUnderSongNoise(t *testing.T) {
+	// Figure 4d: the sweep survives the pop song.
+	bed := newScanBed(t, 32, 8000, 24)
+	bed.room.AddNoise(PopSongNoise(44100, 4, 0.02, 9))
+	base := netsim.FiveTuple{Src: bed.h1.Addr, Dst: bed.h2.Addr, SrcPort: 4, Proto: netsim.ProtoTCP}
+	netsim.StartPortScan(bed.sim, bed.h1, base, 8000, 24, 0.2, 0.2)
+	bed.sim.RunUntil(6)
+	if len(bed.ps.Alerts) == 0 {
+		t.Fatalf("scan lost under song noise; sweep %d", len(bed.ps.Sweep))
+	}
+}
+
+func TestPortScanFrequencyMapping(t *testing.T) {
+	bed := newScanBed(t, 33, 100, 10)
+	if f := bed.ps.FrequencyFor(99); f != 0 {
+		t.Errorf("below-range port mapped to %g", f)
+	}
+	if f := bed.ps.FrequencyFor(110); f != 0 {
+		t.Errorf("above-range port mapped to %g", f)
+	}
+	f := bed.ps.FrequencyFor(105)
+	if f == 0 {
+		t.Fatal("in-range port unmapped")
+	}
+	port, ok := bed.ps.PortFor(f)
+	if !ok || port != 105 {
+		t.Errorf("PortFor(%g) = %d %v", f, port, ok)
+	}
+	if _, ok := bed.ps.PortFor(12345); ok {
+		t.Error("unknown frequency should not map")
+	}
+}
+
+func TestPortScanOutOfRangePortsPlayNothing(t *testing.T) {
+	bed := newScanBed(t, 34, 8000, 8)
+	f := netsim.FiveTuple{Src: bed.h1.Addr, Dst: bed.h2.Addr, SrcPort: 1, DstPort: 9999, Proto: netsim.ProtoTCP}
+	bed.sim.Schedule(0.1, func() { bed.h1.Send(f, 64) })
+	bed.sim.RunUntil(1)
+	if len(bed.room.Emissions()) != 0 {
+		t.Error("out-of-range port emitted a tone")
+	}
+}
+
+func TestPortScanSweepIsMonotoneEmptyFalse(t *testing.T) {
+	bed := newScanBed(t, 35, 8000, 8)
+	if bed.ps.SweepIsMonotone() {
+		t.Error("empty sweep should report false")
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"mdn/internal/acoustic"
+	"mdn/internal/mp"
+	"mdn/internal/netsim"
+)
+
+// testbed bundles the pieces most application tests need: a
+// simulator, a room with one microphone, and a helper to give any
+// switch a voice.
+type testbed struct {
+	sim  *netsim.Sim
+	room *acoustic.Room
+	mic  *acoustic.Microphone
+	plan *FrequencyPlan
+}
+
+func newTestbed(seed int64) *testbed {
+	sim := netsim.NewSim()
+	room := acoustic.NewRoom(44100, seed)
+	mic := room.AddMicrophone("controller", acoustic.Position{}, 0.0005)
+	return &testbed{sim: sim, room: room, mic: mic, plan: DefaultPlan()}
+}
+
+// voiceAt places a speaker+Pi at pos and returns its Voice.
+func (tb *testbed) voiceAt(name string, pos acoustic.Position) *Voice {
+	sp := tb.room.AddSpeaker(name, pos)
+	pi := mp.NewPi(tb.sim, sp, 0.002)
+	return NewVoice(tb.sim, mp.NewSounder(pi))
+}
+
+// controller builds a controller watching the given frequencies with
+// the default method.
+func (tb *testbed) controller(watch []float64) *Controller {
+	det := NewDetector(MethodGoertzel, watch)
+	return NewController(tb.sim, tb.mic, det)
+}

@@ -1,0 +1,56 @@
+package dsp_test
+
+import (
+	"fmt"
+	"math"
+
+	"mdn/internal/dsp"
+)
+
+// Detect which of two known frequencies is present in a block using
+// the Goertzel algorithm — the MDN detector's hot path.
+func ExampleGoertzel() {
+	const sampleRate = 44100.0
+	samples := make([]float64, 4410) // 100 ms
+	for i := range samples {
+		samples[i] = math.Sin(2 * math.Pi * 600 * float64(i) / sampleRate)
+	}
+	for _, freq := range []float64{500, 600} {
+		mag := dsp.Goertzel(samples, freq, sampleRate)
+		amp := 2 * mag / float64(len(samples))
+		fmt.Printf("%.0f Hz: amplitude %.2f\n", freq, amp)
+	}
+	// Output:
+	// 500 Hz: amplitude 0.00
+	// 600 Hz: amplitude 1.00
+}
+
+// Find the strongest spectral peaks of a two-tone signal.
+func ExampleFindPeaks() {
+	const (
+		sampleRate = 44100.0
+		n          = 8192
+	)
+	samples := make([]float64, n)
+	for i := range samples {
+		t := float64(i) / sampleRate
+		samples[i] = math.Sin(2*math.Pi*500*t) + 0.5*math.Sin(2*math.Pi*1200*t)
+	}
+	spec, fftSize := dsp.WindowedPowerSpectrum(samples, dsp.Hann)
+	for _, p := range dsp.TopPeaks(spec, fftSize, sampleRate, 1, 50, 2) {
+		fmt.Printf("%.0f Hz\n", math.Round(p.Frequency/10)*10)
+	}
+	// Output:
+	// 500 Hz
+	// 1200 Hz
+}
+
+// Convert between Hz and the mel scale used by the paper's
+// spectrograms.
+func ExampleHzToMel() {
+	fmt.Printf("%.0f\n", dsp.HzToMel(1000))
+	fmt.Printf("%.0f\n", dsp.MelToHz(dsp.HzToMel(4000)))
+	// Output:
+	// 1000
+	// 4000
+}

@@ -1,0 +1,198 @@
+// Package dsp implements the signal-processing substrate for
+// Music-Defined Networking: a radix-2 FFT, window functions, the
+// Goertzel single-bin detector, mel-scale utilities, STFT
+// spectrograms, and peak picking.
+//
+// Everything is built on the standard library only. All transforms
+// operate on float64 (or complex128) slices and are deterministic.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// NextPowerOfTwo returns the smallest power of two >= n.
+// It panics if n is not positive or overflows an int.
+func NextPowerOfTwo(n int) int {
+	if n <= 0 {
+		panic("dsp: NextPowerOfTwo requires n > 0")
+	}
+	if IsPowerOfTwo(n) {
+		return n
+	}
+	p := 1 << bits.Len(uint(n))
+	if p <= 0 {
+		panic("dsp: NextPowerOfTwo overflow")
+	}
+	return p
+}
+
+// FFT computes the in-place decimation-in-time radix-2 fast Fourier
+// transform of x. len(x) must be a power of two; FFT panics otherwise,
+// because a wrong length is a programming error, not an input error.
+//
+// The transform follows the usual engineering convention:
+//
+//	X[k] = sum_n x[n] * exp(-2*pi*i*n*k/N)
+func FFT(x []complex128) {
+	fftDIT(x, false)
+}
+
+// IFFT computes the in-place inverse FFT of x, including the 1/N
+// normalisation, so IFFT(FFT(x)) == x up to rounding.
+func IFFT(x []complex128) {
+	fftDIT(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func fftDIT(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		// Twiddle factor advanced by multiplication each iteration
+		// would accumulate error over long runs; recompute per butterfly
+		// group via Sincos, which is still cheap relative to the loop body.
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				s, c := math.Sincos(step * float64(k))
+				w := complex(c, s)
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// FFTReal transforms a real-valued signal. The input is zero-padded to
+// the next power of two when necessary. It returns the full complex
+// spectrum of length NextPowerOfTwo(len(x)).
+func FFTReal(x []float64) []complex128 {
+	if len(x) == 0 {
+		return nil
+	}
+	n := NextPowerOfTwo(len(x))
+	out := make([]complex128, n)
+	for i, v := range x {
+		out[i] = complex(v, 0)
+	}
+	FFT(out)
+	return out
+}
+
+// Magnitudes returns |X[k]| for the first len(x)/2+1 bins (the
+// non-negative frequencies of a real signal's spectrum).
+func Magnitudes(x []complex128) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	half := len(x)/2 + 1
+	out := make([]float64, half)
+	for i := 0; i < half; i++ {
+		out[i] = cabs(x[i])
+	}
+	return out
+}
+
+// PowerSpectrum returns |X[k]|^2 for the non-negative frequency bins.
+func PowerSpectrum(x []complex128) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	half := len(x)/2 + 1
+	out := make([]float64, half)
+	for i := 0; i < half; i++ {
+		re := real(x[i])
+		im := imag(x[i])
+		out[i] = re*re + im*im
+	}
+	return out
+}
+
+func cabs(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}
+
+// BinFrequency returns the centre frequency in Hz of FFT bin k for a
+// transform of length fftSize at the given sample rate.
+func BinFrequency(k, fftSize int, sampleRate float64) float64 {
+	return float64(k) * sampleRate / float64(fftSize)
+}
+
+// FrequencyBin returns the FFT bin index whose centre frequency is
+// closest to freq for a transform of length fftSize at sampleRate.
+func FrequencyBin(freq float64, fftSize int, sampleRate float64) int {
+	k := int(math.Round(freq * float64(fftSize) / sampleRate))
+	if k < 0 {
+		k = 0
+	}
+	if k > fftSize/2 {
+		k = fftSize / 2
+	}
+	return k
+}
+
+// BinResolution returns the frequency width in Hz of one FFT bin.
+func BinResolution(fftSize int, sampleRate float64) float64 {
+	return sampleRate / float64(fftSize)
+}
+
+// WindowedSpectrum applies the window to a copy of x, zero-pads to
+// the next power of two, and returns the half-spectrum magnitudes and
+// the transform size. It is the analysis front end shared by the MDN
+// detectors.
+func WindowedSpectrum(x []float64, win Window) (mags []float64, fftSize int) {
+	if len(x) == 0 {
+		return nil, 0
+	}
+	work := make([]float64, len(x))
+	copy(work, x)
+	win.Apply(work)
+	spec := FFTReal(work)
+	return Magnitudes(spec), len(spec)
+}
+
+// WindowedPowerSpectrum is WindowedSpectrum returning power values.
+func WindowedPowerSpectrum(x []float64, win Window) (power []float64, fftSize int) {
+	if len(x) == 0 {
+		return nil, 0
+	}
+	work := make([]float64, len(x))
+	copy(work, x)
+	win.Apply(work)
+	spec := FFTReal(work)
+	return PowerSpectrum(spec), len(spec)
+}

@@ -1,0 +1,55 @@
+package dsp
+
+import "math"
+
+// Goertzel evaluates the magnitude of a single frequency component in
+// a block of samples using the Goertzel algorithm. It is the cheap
+// alternative to a full FFT when only a handful of known frequencies
+// (an MDN frequency plan) must be checked.
+//
+// The returned value is comparable to the magnitude of the
+// corresponding FFT bin of the same block.
+func Goertzel(samples []float64, freq, sampleRate float64) float64 {
+	n := len(samples)
+	if n == 0 || sampleRate <= 0 {
+		return 0
+	}
+	// Use the exact normalised frequency rather than the nearest
+	// integer bin: MDN tones are not bin-aligned in general.
+	w := 2 * math.Pi * freq / sampleRate
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, x := range samples {
+		s0 = x + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	// Magnitude of the resonator state.
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	if power < 0 {
+		power = 0
+	}
+	return math.Sqrt(power)
+}
+
+// GoertzelBank evaluates many frequencies over the same block. The
+// result has one magnitude per requested frequency, in order.
+func GoertzelBank(samples []float64, freqs []float64, sampleRate float64) []float64 {
+	out := make([]float64, len(freqs))
+	for i, f := range freqs {
+		out[i] = Goertzel(samples, f, sampleRate)
+	}
+	return out
+}
+
+// GoertzelPower returns the normalised power (mean-square amplitude
+// contribution) of freq in the block, i.e. magnitude scaled so that a
+// unit-amplitude sinusoid at freq yields approximately 0.5.
+func GoertzelPower(samples []float64, freq, sampleRate float64) float64 {
+	n := float64(len(samples))
+	if n == 0 {
+		return 0
+	}
+	m := Goertzel(samples, freq, sampleRate)
+	return (m / n) * (m / n) * 2
+}

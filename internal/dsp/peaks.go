@@ -1,0 +1,72 @@
+package dsp
+
+import "sort"
+
+// Peak is a local maximum found in a spectrum.
+type Peak struct {
+	// Bin is the FFT bin index.
+	Bin int
+	// Frequency is the bin centre frequency in Hz.
+	Frequency float64
+	// Power is the power (or magnitude, matching the input) at the bin.
+	Power float64
+}
+
+// FindPeaks locates local maxima in a half spectrum that exceed
+// threshold, keeping only maxima separated by at least minSeparationHz
+// (stronger peaks win ties). Results are sorted by descending power.
+//
+// spectrum is indexed by FFT bin; fftSize and sampleRate translate
+// bins to frequencies.
+func FindPeaks(spectrum []float64, fftSize int, sampleRate, threshold, minSeparationHz float64) []Peak {
+	var candidates []Peak
+	for k := 1; k < len(spectrum)-1; k++ {
+		v := spectrum[k]
+		if v < threshold {
+			continue
+		}
+		if v >= spectrum[k-1] && v > spectrum[k+1] {
+			candidates = append(candidates, Peak{
+				Bin:       k,
+				Frequency: BinFrequency(k, fftSize, sampleRate),
+				Power:     v,
+			})
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Power != candidates[j].Power {
+			return candidates[i].Power > candidates[j].Power
+		}
+		return candidates[i].Bin < candidates[j].Bin
+	})
+	if minSeparationHz <= 0 {
+		return candidates
+	}
+	var out []Peak
+	for _, c := range candidates {
+		ok := true
+		for _, kept := range out {
+			d := c.Frequency - kept.Frequency
+			if d < 0 {
+				d = -d
+			}
+			if d < minSeparationHz {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TopPeaks returns at most n of the strongest peaks from FindPeaks.
+func TopPeaks(spectrum []float64, fftSize int, sampleRate, threshold, minSeparationHz float64, n int) []Peak {
+	peaks := FindPeaks(spectrum, fftSize, sampleRate, threshold, minSeparationHz)
+	if len(peaks) > n {
+		peaks = peaks[:n]
+	}
+	return peaks
+}

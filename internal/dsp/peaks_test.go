@@ -1,0 +1,96 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFindPeaksTwoTones(t *testing.T) {
+	const (
+		n          = 8192
+		sampleRate = 44100.0
+	)
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) / sampleRate
+		x[i] = math.Sin(2*math.Pi*500*ti) + 0.8*math.Sin(2*math.Pi*900*ti)
+	}
+	Hann.Apply(x)
+	spec := PowerSpectrum(FFTReal(x))
+	peaks := FindPeaks(spec, n, sampleRate, 1, 50)
+	if len(peaks) < 2 {
+		t.Fatalf("found %d peaks, want >= 2", len(peaks))
+	}
+	// Strongest two should be near 500 and 900 Hz.
+	found500, found900 := false, false
+	for _, p := range peaks[:2] {
+		if math.Abs(p.Frequency-500) < 20 {
+			found500 = true
+		}
+		if math.Abs(p.Frequency-900) < 20 {
+			found900 = true
+		}
+	}
+	if !found500 || !found900 {
+		t.Errorf("peaks = %+v, want ~500 and ~900 Hz", peaks[:2])
+	}
+	if peaks[0].Power < peaks[1].Power {
+		t.Error("peaks not sorted by descending power")
+	}
+}
+
+func TestFindPeaksMinSeparation(t *testing.T) {
+	// Two bumps 3 bins apart; with large minSeparation only one survives.
+	spec := make([]float64, 100)
+	spec[40] = 10
+	spec[43] = 8
+	const (
+		fftSize    = 198 // bins = 100
+		sampleRate = 198.0
+	)
+	all := FindPeaks(spec, fftSize, sampleRate, 0.5, 0)
+	if len(all) != 2 {
+		t.Fatalf("unfiltered peaks = %d, want 2", len(all))
+	}
+	sep := FindPeaks(spec, fftSize, sampleRate, 0.5, 5)
+	if len(sep) != 1 {
+		t.Fatalf("separated peaks = %d, want 1", len(sep))
+	}
+	if sep[0].Bin != 40 {
+		t.Errorf("kept bin %d, want the stronger 40", sep[0].Bin)
+	}
+}
+
+func TestFindPeaksThreshold(t *testing.T) {
+	spec := make([]float64, 50)
+	spec[10] = 0.4
+	spec[30] = 2.0
+	peaks := FindPeaks(spec, 98, 98, 1.0, 0)
+	if len(peaks) != 1 || peaks[0].Bin != 30 {
+		t.Errorf("peaks = %+v, want only bin 30", peaks)
+	}
+}
+
+func TestTopPeaksLimit(t *testing.T) {
+	spec := make([]float64, 200)
+	for i := 10; i < 190; i += 20 {
+		spec[i] = float64(i)
+	}
+	peaks := TopPeaks(spec, 398, 398, 0.5, 0, 3)
+	if len(peaks) != 3 {
+		t.Fatalf("len = %d, want 3", len(peaks))
+	}
+	if peaks[0].Bin != 170 {
+		t.Errorf("strongest bin = %d, want 170", peaks[0].Bin)
+	}
+}
+
+func TestFindPeaksEmptyAndFlat(t *testing.T) {
+	if p := FindPeaks(nil, 8, 8, 0, 0); len(p) != 0 {
+		t.Error("nil spectrum should give no peaks")
+	}
+	flat := []float64{1, 1, 1, 1}
+	if p := FindPeaks(flat, 8, 8, 0.5, 0); len(p) != 0 {
+		t.Errorf("flat spectrum gave peaks: %+v", p)
+	}
+}

@@ -1,0 +1,126 @@
+package dsp
+
+import "math"
+
+// Spectrogram holds the short-time Fourier transform of a signal:
+// one spectrum row per analysis frame.
+type Spectrogram struct {
+	// SampleRate of the analysed signal in Hz.
+	SampleRate float64
+	// FFTSize is the transform length.
+	FFTSize int
+	// HopSize is the stride between frames in samples.
+	HopSize int
+	// Times holds the start time in seconds of each frame.
+	Times []float64
+	// Power holds, per frame, the half-spectrum power values
+	// (FFTSize/2+1 bins).
+	Power [][]float64
+}
+
+// STFT computes a short-time Fourier transform of x using the given
+// window, fftSize and hopSize (both in samples). Frames that would run
+// past the end of x are zero-padded. It returns nil when x is shorter
+// than one hop.
+func STFT(x []float64, sampleRate float64, fftSize, hopSize int, win Window) *Spectrogram {
+	if len(x) == 0 || fftSize <= 0 || hopSize <= 0 {
+		return nil
+	}
+	fftSize = NextPowerOfTwo(fftSize)
+	coef := win.Coefficients(fftSize)
+	nFrames := (len(x) + hopSize - 1) / hopSize
+	sg := &Spectrogram{
+		SampleRate: sampleRate,
+		FFTSize:    fftSize,
+		HopSize:    hopSize,
+		Times:      make([]float64, 0, nFrames),
+		Power:      make([][]float64, 0, nFrames),
+	}
+	buf := make([]complex128, fftSize)
+	for start := 0; start < len(x); start += hopSize {
+		for i := 0; i < fftSize; i++ {
+			v := 0.0
+			if start+i < len(x) {
+				v = x[start+i] * coef[i]
+			}
+			buf[i] = complex(v, 0)
+		}
+		FFT(buf)
+		sg.Times = append(sg.Times, float64(start)/sampleRate)
+		sg.Power = append(sg.Power, PowerSpectrum(buf))
+	}
+	return sg
+}
+
+// NumFrames returns the number of analysis frames.
+func (s *Spectrogram) NumFrames() int { return len(s.Power) }
+
+// FrameDuration returns the hop interval in seconds.
+func (s *Spectrogram) FrameDuration() float64 {
+	return float64(s.HopSize) / s.SampleRate
+}
+
+// Mel projects every frame onto the given mel filter bank, producing a
+// mel-scaled spectrogram: rows are frames, columns are mel bands. The
+// bank must have been built for this spectrogram's FFTSize and
+// SampleRate.
+func (s *Spectrogram) Mel(bank *MelFilterBank) [][]float64 {
+	out := make([][]float64, len(s.Power))
+	for i, frame := range s.Power {
+		out[i] = bank.Apply(frame)
+	}
+	return out
+}
+
+// DominantFrequency returns, for frame i, the frequency in Hz of the
+// strongest bin at or above minHz, and its power. It returns (0, 0)
+// for an out-of-range frame.
+func (s *Spectrogram) DominantFrequency(i int, minHz float64) (hz, power float64) {
+	if i < 0 || i >= len(s.Power) {
+		return 0, 0
+	}
+	frame := s.Power[i]
+	kMin := FrequencyBin(minHz, s.FFTSize, s.SampleRate)
+	best := -1
+	for k := kMin; k < len(frame); k++ {
+		if best < 0 || frame[k] > frame[best] {
+			best = k
+		}
+	}
+	if best < 0 {
+		return 0, 0
+	}
+	return BinFrequency(best, s.FFTSize, s.SampleRate), frame[best]
+}
+
+// PowerDB converts a power value to decibels with a -120 dB floor.
+func PowerDB(p float64) float64 {
+	const floor = -120
+	if p <= 0 {
+		return floor
+	}
+	db := 10 * math.Log10(p)
+	if db < floor {
+		return floor
+	}
+	return db
+}
+
+// AmplitudeDB converts a linear amplitude to decibels (20·log10) with
+// a -120 dB floor.
+func AmplitudeDB(a float64) float64 {
+	const floor = -120
+	if a <= 0 {
+		return floor
+	}
+	db := 20 * math.Log10(a)
+	if db < floor {
+		return floor
+	}
+	return db
+}
+
+// DBToAmplitude converts decibels to a linear amplitude.
+func DBToAmplitude(db float64) float64 {
+	return math.Pow(10, db/20)
+}

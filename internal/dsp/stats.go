@@ -1,0 +1,126 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution function over observed
+// samples, used to reproduce Figure 2b (the FFT processing-time CDF).
+// The zero value is an empty CDF ready for Add.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one observation.
+func (c *CDF) Add(v float64) {
+	c.samples = append(c.samples, v)
+	c.sorted = false
+}
+
+// Len returns the number of observations.
+func (c *CDF) Len() int { return len(c.samples) }
+
+func (c *CDF) ensureSorted() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using linear
+// interpolation between order statistics. It returns NaN when empty.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.ensureSorted()
+	if q <= 0 {
+		return c.samples[0]
+	}
+	if q >= 1 {
+		return c.samples[len(c.samples)-1]
+	}
+	pos := q * float64(len(c.samples)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return c.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return c.samples[lo]*(1-frac) + c.samples[hi]*frac
+}
+
+// At returns the empirical CDF value P(X <= v).
+func (c *CDF) At(v float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	idx := sort.SearchFloat64s(c.samples, v)
+	// Advance over equal values so At is P(X <= v), not P(X < v).
+	for idx < len(c.samples) && c.samples[idx] <= v {
+		idx++
+	}
+	return float64(idx) / float64(len(c.samples))
+}
+
+// Mean returns the sample mean, or NaN when empty.
+func (c *CDF) Mean() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range c.samples {
+		sum += v
+	}
+	return sum / float64(len(c.samples))
+}
+
+// String summarises the distribution.
+func (c *CDF) String() string {
+	if len(c.samples) == 0 {
+		return "CDF(empty)"
+	}
+	return fmt.Sprintf("CDF(n=%d p50=%.4g p90=%.4g p99=%.4g max=%.4g)",
+		c.Len(), c.Quantile(0.5), c.Quantile(0.9), c.Quantile(0.99), c.Quantile(1))
+}
+
+// Series returns the sorted (value, cumulative probability) pairs of
+// the empirical distribution, suitable for plotting.
+func (c *CDF) Series() (values, probs []float64) {
+	c.ensureSorted()
+	values = make([]float64, len(c.samples))
+	probs = make([]float64, len(c.samples))
+	copy(values, c.samples)
+	for i := range probs {
+		probs[i] = float64(i+1) / float64(len(c.samples))
+	}
+	return values, probs
+}
+
+// RMS returns the root-mean-square of x (0 for an empty slice).
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += v * v
+	}
+	return math.Sqrt(sum / float64(len(x)))
+}
+
+// MeanAbs returns the mean absolute value of x.
+func MeanAbs(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += math.Abs(v)
+	}
+	return sum / float64(len(x))
+}

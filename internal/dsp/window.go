@@ -1,0 +1,94 @@
+package dsp
+
+import "math"
+
+// Window identifies a tapering function applied to a signal block
+// before a transform to control spectral leakage.
+type Window int
+
+// Supported window functions.
+const (
+	// Rectangular applies no tapering (the implicit window of a raw
+	// block). Worst leakage, narrowest main lobe.
+	Rectangular Window = iota
+	// Hann is the raised-cosine window; the default for MDN tone
+	// detection because adjacent 20 Hz-spaced tones must not leak
+	// into each other's bins.
+	Hann
+	// Hamming is the classic Hamming window (slightly lower first
+	// sidelobe than Hann, no zero endpoints).
+	Hamming
+	// Blackman offers stronger sidelobe suppression at the cost of a
+	// wider main lobe.
+	Blackman
+)
+
+// String returns the conventional name of the window.
+func (w Window) String() string {
+	switch w {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	default:
+		return "unknown"
+	}
+}
+
+// Coefficients returns the n window coefficients. For n <= 1 it
+// returns a slice of ones (a single-sample window cannot taper).
+func (w Window) Coefficients(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	den := float64(n - 1)
+	for i := range out {
+		t := float64(i) / den
+		switch w {
+		case Hann:
+			out[i] = 0.5 - 0.5*math.Cos(2*math.Pi*t)
+		case Hamming:
+			out[i] = 0.54 - 0.46*math.Cos(2*math.Pi*t)
+		case Blackman:
+			out[i] = 0.42 - 0.5*math.Cos(2*math.Pi*t) + 0.08*math.Cos(4*math.Pi*t)
+		default:
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Apply multiplies x by the window in place and returns x.
+func (w Window) Apply(x []float64) []float64 {
+	if w == Rectangular {
+		return x
+	}
+	coef := w.Coefficients(len(x))
+	for i := range x {
+		x[i] *= coef[i]
+	}
+	return x
+}
+
+// Gain returns the coherent gain of the window (mean coefficient),
+// used to correct tone amplitudes measured through a windowed FFT.
+func (w Window) Gain(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	coef := w.Coefficients(n)
+	sum := 0.0
+	for _, c := range coef {
+		sum += c
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,266 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation, plus its in-text quantitative claims, on the simulated
+// testbed. Each experiment returns a Result holding the series the
+// paper plots, summary rows comparing the paper's observation with
+// ours, and a Pass verdict on the qualitative shape.
+//
+// The cmd/mdnbench binary runs these and prints them; bench_test.go
+// wraps each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mdn/internal/audio"
+	"mdn/internal/dsp"
+)
+
+// Series is one named plottable series.
+type Series struct {
+	// Name labels the series.
+	Name string
+	// X holds the abscissa values (usually seconds or Hz).
+	X []float64
+	// Y holds the ordinate values.
+	Y []float64
+}
+
+// Row is one paper-vs-measured comparison.
+type Row struct {
+	// Name describes the quantity.
+	Name string
+	// Paper is what the paper reports (qualitative where the paper
+	// is qualitative).
+	Paper string
+	// Measured is what this reproduction observed.
+	Measured string
+	// OK reports whether the measured value preserves the paper's
+	// shape.
+	OK bool
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	// ID is the experiment identifier (e.g. "fig4a").
+	ID string
+	// Title is a human-readable description.
+	Title string
+	// Rows are the paper-vs-measured comparisons.
+	Rows []Row
+	// Series are the regenerated figure series.
+	Series []Series
+	// Notes carry free-form observations.
+	Notes []string
+	// Audio, when set, is what the controller microphone recorded
+	// during the experiment's interesting window — the raw material
+	// of the paper's mel-spectrogram panels. Excluded from JSON.
+	Audio *audio.Buffer `json:"-"`
+	// AudioLabel describes the attached audio.
+	AudioLabel string `json:",omitempty"`
+}
+
+// attachAudio stores a capture on the result.
+func (r *Result) attachAudio(label string, buf *audio.Buffer) {
+	r.Audio = buf
+	r.AudioLabel = label
+}
+
+// MelSpectrogram renders the attached audio as a mel-band power
+// matrix (rows = time frames), or nil when no audio is attached.
+func (r *Result) MelSpectrogram(bands int, maxHz float64) [][]float64 {
+	if r.Audio == nil || r.Audio.Len() == 0 {
+		return nil
+	}
+	sg := dsp.STFT(r.Audio.Samples, r.Audio.SampleRate, 2048, 1024, dsp.Hann)
+	if sg == nil {
+		return nil
+	}
+	bank := dsp.NewMelFilterBank(bands, sg.FFTSize, r.Audio.SampleRate, 50, maxHz)
+	return sg.Mel(bank)
+}
+
+// Pass reports whether every row preserved the paper's shape.
+func (r *Result) Pass() bool {
+	for _, row := range r.Rows {
+		if !row.OK {
+			return false
+		}
+	}
+	return len(r.Rows) > 0
+}
+
+func (r *Result) row(name, paper string, ok bool, format string, args ...interface{}) {
+	r.Rows = append(r.Rows, Row{
+		Name:     name,
+		Paper:    paper,
+		Measured: fmt.Sprintf(format, args...),
+		OK:       ok,
+	})
+}
+
+func (r *Result) addSeries(name string, x, y []float64) {
+	r.Series = append(r.Series, Series{Name: name, X: x, Y: y})
+}
+
+func (r *Result) note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Experiment pairs an ID with its runner.
+type Experiment struct {
+	// ID is the experiment identifier.
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Run executes it.
+	Run func() *Result
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig2a", "FFT identification of 5 simultaneous switches", Fig2a},
+		{"fig2b", "CDF of FFT processing time (50 ms samples)", Fig2b},
+		{"fig3", "Port knocking: bytes sent vs received", Fig3},
+		{"fig4a", "Heavy-hitter detection (quiet)", Fig4a},
+		{"fig4b", "Heavy-hitter detection under pop-song noise", Fig4b},
+		{"fig4c", "Port-scan detection (quiet)", Fig4c},
+		{"fig4d", "Port-scan detection under pop-song noise", Fig4d},
+		{"fig5ab", "Music-defined load balancing on the rhombus", Fig5ab},
+		{"fig5cd", "Queue-size monitoring (500/600/700 Hz)", Fig5cd},
+		{"fig6", "Fan on/off spectra in datacenter and office", Fig6},
+		{"fig7", "Fan-failure amplitude-difference statistic", Fig7},
+		{"sec3-spacing", "Frequency spacing needed for identification", Sec3Spacing},
+		{"sec3-duration", "Shortest usable tone duration", Sec3Duration},
+		{"sec5-capacity", "Simultaneous distinguishable frequencies", Sec5Capacity},
+		{"ext-failover", "Management survives data-plane failure (motivation)", ExtFailover},
+		{"ext-superspreader", "k-superspreader / DDoS-victim detection (§5 open problem)", ExtSuperspreader},
+		{"ext-relay", "Multi-hop sound relay (§8 open question)", ExtRelay},
+		{"ext-congestion", "Sound-driven AIMD congestion control (§6)", ExtCongestion},
+		{"ext-ultrasound", "Ultrasound capacity (§8 direction)", ExtUltrasound},
+		{"ext-micarray", "Microphone-array zoning (§8 direction)", ExtMicArray},
+		{"ext-fananomaly", "Fan anomaly recognition (§7 open question 1)", ExtFanAnomaly},
+		{"ext-fandistance", "Microphone-server distance sweep (§7 open question 2)", ExtFanDistance},
+		{"ext-heartbeat", "Out-of-band device liveness (heartbeat tones)", ExtHeartbeat},
+		{"ext-latency", "Control-loop latency: sound vs in-band", ExtControlLatency},
+	}
+}
+
+// ByID returns the experiment with the given ID, or false.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Render formats a result as a text report with an ASCII chart per
+// series.
+func Render(r *Result) string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.Pass() {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "=== %s: %s [%s]\n", r.ID, r.Title, status)
+	if len(r.Rows) > 0 {
+		nameW, paperW := 0, 0
+		for _, row := range r.Rows {
+			if len(row.Name) > nameW {
+				nameW = len(row.Name)
+			}
+			if len(row.Paper) > paperW {
+				paperW = len(row.Paper)
+			}
+		}
+		for _, row := range r.Rows {
+			mark := "ok"
+			if !row.OK {
+				mark = "MISMATCH"
+			}
+			fmt.Fprintf(&b, "  %-*s  paper: %-*s  measured: %s  [%s]\n",
+				nameW, row.Name, paperW, row.Paper, row.Measured, mark)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	for _, s := range r.Series {
+		b.WriteString(RenderChart(s, 60, 12))
+	}
+	return b.String()
+}
+
+// RenderChart draws a series as a crude ASCII scatter/line chart.
+func RenderChart(s Series, width, height int) string {
+	if len(s.X) == 0 || len(s.X) != len(s.Y) {
+		return fmt.Sprintf("  [%s: no data]\n", s.Name)
+	}
+	minX, maxX := s.X[0], s.X[0]
+	minY, maxY := s.Y[0], s.Y[0]
+	for i := range s.X {
+		minX = math.Min(minX, s.X[i])
+		maxX = math.Max(maxX, s.X[i])
+		minY = math.Min(minY, s.Y[i])
+		maxY = math.Max(maxY, s.Y[i])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range s.X {
+		cx := int(float64(width-1) * (s.X[i] - minX) / (maxX - minX))
+		cy := int(float64(height-1) * (s.Y[i] - minY) / (maxY - minY))
+		grid[height-1-cy][cx] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  -- %s  (x: %.3g..%.3g, y: %.3g..%.3g)\n", s.Name, minX, maxX, minY, maxY)
+	for _, line := range grid {
+		b.WriteString("  |")
+		b.Write(line)
+		b.WriteString("\n")
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	return b.String()
+}
+
+// MarkdownTable renders results as the paper-vs-measured markdown
+// used in EXPERIMENTS.md, one section per experiment.
+func MarkdownTable(results []*Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		status := "PASS"
+		if !r.Pass() {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "## %s — %s (%s)\n\n", r.ID, r.Title, status)
+		b.WriteString("| Quantity | Paper | Measured |\n|---|---|---|\n")
+		for _, row := range r.Rows {
+			measured := row.Measured
+			if !row.OK {
+				measured += " **(mismatch)**"
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s |\n",
+				mdEscape(row.Name), mdEscape(row.Paper), mdEscape(measured))
+		}
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "\n*%s*\n", mdEscape(n))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func mdEscape(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}

@@ -1,0 +1,32 @@
+package mp_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"mdn/internal/mp"
+)
+
+// Encode and decode a Music Protocol stream — the exact bytes a
+// Zodiac FX would send its Raspberry Pi.
+func Example() {
+	var wire bytes.Buffer
+	enc := mp.NewEncoder(&wire)
+	enc.Encode(mp.Message{Frequency: 500, Duration: 0.065, Intensity: 60})
+	enc.Encode(mp.Message{Frequency: 700, Duration: 0.065, Intensity: 60})
+	fmt.Println("bytes on the wire:", wire.Len())
+
+	dec := mp.NewDecoder(&wire)
+	for {
+		m, err := dec.Decode()
+		if err != nil {
+			break
+		}
+		fmt.Printf("play %.0f Hz for %.0f ms at %.0f dB\n",
+			m.Frequency, m.Duration*1000, m.Intensity)
+	}
+	// Output:
+	// bytes on the wire: 56
+	// play 500 Hz for 65 ms at 60 dB
+	// play 700 Hz for 65 ms at 60 dB
+}

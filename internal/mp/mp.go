@@ -1,0 +1,133 @@
+// Package mp implements the paper's Music Protocol (MP): the message
+// a switch sends to its attached Raspberry Pi to have a sound played.
+// The payload carries exactly what Section 3 describes — the frequency
+// at which to play the sound, its duration, and its intensity
+// (volume).
+//
+// The package provides the byte-accurate wire format, stream
+// encoder/decoder (usable over net.Conn — the examples run MP over
+// real TCP loopback), and the simulated Raspberry Pi that turns
+// received messages into speaker emissions in the acoustic room.
+package mp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Message is one Music Protocol request: play Frequency Hz for
+// Duration seconds at Intensity dB SPL (referenced at 1 m, per the
+// acoustic package calibration).
+type Message struct {
+	// Frequency in Hz.
+	Frequency float64
+	// Duration in seconds.
+	Duration float64
+	// Intensity in dB SPL at 1 m. The paper played tones of at least
+	// 30 dB.
+	Intensity float64
+}
+
+// Validate checks the message against hardware limits: audible
+// positive frequency below Nyquist of common hardware (22.05 kHz),
+// positive duration, sane intensity.
+func (m Message) Validate() error {
+	if m.Frequency <= 0 || m.Frequency > 22050 {
+		return fmt.Errorf("mp: frequency %g Hz out of range (0, 22050]", m.Frequency)
+	}
+	if m.Duration <= 0 || m.Duration > 60 {
+		return fmt.Errorf("mp: duration %g s out of range (0, 60]", m.Duration)
+	}
+	if m.Intensity < 0 || m.Intensity > 120 {
+		return fmt.Errorf("mp: intensity %g dB out of range [0, 120]", m.Intensity)
+	}
+	return nil
+}
+
+// Wire format (28 bytes, big-endian):
+//
+//	magic     [2]byte  "MP"
+//	version   uint8    1
+//	reserved  uint8    0
+//	frequency float64
+//	duration  float64
+//	intensity float64
+const (
+	// WireSize is the fixed encoded size of a Message.
+	WireSize = 28
+	version  = 1
+)
+
+// ErrBadMessage reports a malformed MP message.
+var ErrBadMessage = errors.New("mp: malformed message")
+
+// Marshal encodes the message to its fixed 28-byte wire form.
+func Marshal(m Message) []byte {
+	out := make([]byte, WireSize)
+	out[0], out[1] = 'M', 'P'
+	out[2] = version
+	binary.BigEndian.PutUint64(out[4:12], math.Float64bits(m.Frequency))
+	binary.BigEndian.PutUint64(out[12:20], math.Float64bits(m.Duration))
+	binary.BigEndian.PutUint64(out[20:28], math.Float64bits(m.Intensity))
+	return out
+}
+
+// Unmarshal decodes a wire-form message.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) < WireSize {
+		return Message{}, fmt.Errorf("%w: %d bytes, need %d", ErrBadMessage, len(b), WireSize)
+	}
+	if b[0] != 'M' || b[1] != 'P' {
+		return Message{}, fmt.Errorf("%w: bad magic", ErrBadMessage)
+	}
+	if b[2] != version {
+		return Message{}, fmt.Errorf("%w: unsupported version %d", ErrBadMessage, b[2])
+	}
+	m := Message{
+		Frequency: math.Float64frombits(binary.BigEndian.Uint64(b[4:12])),
+		Duration:  math.Float64frombits(binary.BigEndian.Uint64(b[12:20])),
+		Intensity: math.Float64frombits(binary.BigEndian.Uint64(b[20:28])),
+	}
+	if math.IsNaN(m.Frequency) || math.IsNaN(m.Duration) || math.IsNaN(m.Intensity) {
+		return Message{}, fmt.Errorf("%w: NaN field", ErrBadMessage)
+	}
+	return m, nil
+}
+
+// Encoder writes MP messages to a stream.
+type Encoder struct {
+	w io.Writer
+}
+
+// NewEncoder returns an encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Encode validates and writes one message.
+func (e *Encoder) Encode(m Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	_, err := e.w.Write(Marshal(m))
+	return err
+}
+
+// Decoder reads MP messages from a stream.
+type Decoder struct {
+	r   io.Reader
+	buf [WireSize]byte
+}
+
+// NewDecoder returns a decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// Decode reads one message. It returns io.EOF at a clean stream end
+// and io.ErrUnexpectedEOF on a mid-message cut.
+func (d *Decoder) Decode() (Message, error) {
+	if _, err := io.ReadFull(d.r, d.buf[:]); err != nil {
+		return Message{}, err
+	}
+	return Unmarshal(d.buf[:])
+}

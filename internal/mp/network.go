@@ -1,0 +1,62 @@
+package mp
+
+import (
+	"mdn/internal/netsim"
+)
+
+// The networked Music Protocol path: in the paper's testbed the
+// Raspberry Pi hangs off a dedicated Ethernet port of the Zodiac FX
+// (with OpenFlow disabled on that port), and the firmware writes MP
+// frames straight to it. NetworkSounder and AttachPi reproduce that:
+// MP messages ride the simulated link as packet payloads, paying the
+// link's serialisation and propagation delay, and the Pi host decodes
+// them on arrival.
+
+// NetworkSounder emits MP messages as packets directly out a port —
+// the firmware path that bypasses the flow table.
+type NetworkSounder struct {
+	// Flow stamps the emitted packets (the switch→Pi management
+	// tuple).
+	Flow netsim.FiveTuple
+
+	port *netsim.Port
+	sim  *netsim.Sim
+	id   uint64
+
+	// Sent counts emitted MP packets.
+	Sent uint64
+}
+
+// NewNetworkSounder wires a sender to the switch's Pi-facing port.
+func NewNetworkSounder(sim *netsim.Sim, port *netsim.Port, flow netsim.FiveTuple) *NetworkSounder {
+	return &NetworkSounder{Flow: flow, port: port, sim: sim}
+}
+
+// Emit sends one MP message down the wire. Frame size = MP wire size
+// plus a nominal 42-byte Ethernet+IP+UDP header.
+func (ns *NetworkSounder) Emit(m Message) {
+	ns.id++
+	ns.Sent++
+	ns.port.Send(&netsim.Packet{
+		ID:        ns.id,
+		Flow:      ns.Flow,
+		Size:      WireSize + 42,
+		CreatedAt: ns.sim.Now(),
+		Payload:   Marshal(m),
+	})
+}
+
+// AttachPi makes a host decode arriving MP payloads into the Pi.
+// Packets without a valid MP payload are counted and dropped — a
+// defensive Pi daemon. It returns the host for chaining.
+func AttachPi(h *netsim.Host, pi *Pi) *netsim.Host {
+	h.OnReceive = func(pkt *netsim.Packet) {
+		m, err := Unmarshal(pkt.Payload)
+		if err != nil {
+			pi.Rejected++
+			return
+		}
+		pi.Handle(m)
+	}
+	return h
+}

@@ -1,0 +1,78 @@
+package mp
+
+import (
+	"mdn/internal/acoustic"
+	"mdn/internal/audio"
+	"mdn/internal/netsim"
+)
+
+// Pi is the simulated Raspberry Pi of the paper's testbed: it sits on
+// a dedicated switch port, receives Music Protocol messages, and
+// drives the attached speaker. LinkDelay models the switch→Pi Ethernet
+// hop plus the Pi's audio-stack latency.
+type Pi struct {
+	// Speaker is the attached driver in the acoustic room.
+	Speaker *acoustic.Speaker
+	// LinkDelay is seconds between the switch sending an MP message
+	// and the speaker starting the tone.
+	LinkDelay float64
+
+	sim *netsim.Sim
+
+	// Played counts accepted messages.
+	Played uint64
+	// Rejected counts messages that failed validation.
+	Rejected uint64
+}
+
+// NewPi attaches a Pi to a speaker on the simulator clock.
+func NewPi(sim *netsim.Sim, speaker *acoustic.Speaker, linkDelay float64) *Pi {
+	return &Pi{Speaker: speaker, LinkDelay: linkDelay, sim: sim}
+}
+
+// Handle plays one decoded message: the tone starts LinkDelay after
+// the current simulation time. Invalid messages are dropped and
+// counted, like a defensive firmware would.
+func (p *Pi) Handle(m Message) {
+	if err := m.Validate(); err != nil {
+		p.Rejected++
+		return
+	}
+	p.Played++
+	p.Speaker.Play(p.sim.Now()+p.LinkDelay, audio.Tone{
+		Frequency: m.Frequency,
+		Duration:  m.Duration,
+		Amplitude: acoustic.SPLToAmplitude(m.Intensity),
+	})
+}
+
+// Sounder is the switch-side MP sender: the firmware extension the
+// paper added to the Zodiac FX. Emit marshals the message to the wire
+// format, "transmits" it, and the Pi decodes and plays it — so every
+// tone in every experiment exercises the byte-accurate protocol path.
+type Sounder struct {
+	pi *Pi
+	// SentBytes counts wire bytes pushed to the Pi.
+	SentBytes uint64
+}
+
+// NewSounder wires a switch-side sender to its Pi.
+func NewSounder(pi *Pi) *Sounder { return &Sounder{pi: pi} }
+
+// Emit sends one MP message to the Pi. Malformed messages are dropped
+// at the Pi (see Pi.Rejected); wire corruption would surface as an
+// unmarshal error, which cannot happen on this loss-free hop.
+func (s *Sounder) Emit(m Message) {
+	wire := Marshal(m)
+	s.SentBytes += uint64(len(wire))
+	decoded, err := Unmarshal(wire)
+	if err != nil {
+		// A marshal/unmarshal mismatch is a protocol bug, not an
+		// operational condition.
+		panic("mp: wire round-trip failed: " + err.Error())
+	}
+	s.pi.Handle(decoded)
+}
+
+// Pi returns the attached Pi.
+func (s *Sounder) Pi() *Pi { return s.pi }

@@ -1,0 +1,128 @@
+package mp
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// Handler consumes decoded MP messages arriving over a transport.
+type Handler func(Message)
+
+// Server accepts Music Protocol connections over a real transport
+// (TCP in the examples) and dispatches decoded messages to a handler.
+// It is the network-facing version of the Pi: the paper's testbed runs
+// this exact protocol between the Zodiac FX and the Raspberry Pi.
+type Server struct {
+	// Handler receives every valid decoded message.
+	Handler Handler
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a
+// clean Close, or the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := NewDecoder(conn)
+	for {
+		m, err := dec.Decode()
+		if err != nil {
+			if errors.Is(err, ErrBadMessage) {
+				continue // skip the bad frame, stay in sync by size
+			}
+			return // EOF or transport error: drop the connection
+		}
+		if m.Validate() != nil {
+			continue
+		}
+		if s.Handler != nil {
+			s.Handler(m)
+		}
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to
+// finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client sends MP messages over a transport connection.
+type Client struct {
+	conn net.Conn
+	enc  *Encoder
+}
+
+// Dial connects to an MP server.
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, enc: NewEncoder(conn)}, nil
+}
+
+// NewClient wraps an existing connection (e.g. one side of net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, enc: NewEncoder(conn)}
+}
+
+// Send transmits one message.
+func (c *Client) Send(m Message) error { return c.enc.Encode(m) }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// ReadAll decodes every message from r until EOF, returning the valid
+// ones. Useful for replaying captured MP streams.
+func ReadAll(r io.Reader) ([]Message, error) {
+	dec := NewDecoder(r)
+	var out []Message
+	for {
+		m, err := dec.Decode()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, m)
+	}
+}

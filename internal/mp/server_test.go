@@ -1,0 +1,119 @@
+package mp
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServerOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []Message
+	srv := &Server{Handler: func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	c, err := Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Message{
+		{Frequency: 500, Duration: 0.05, Intensity: 60},
+		{Frequency: 900, Duration: 0.03, Intensity: 45},
+	}
+	for _, m := range want {
+		if err := c.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == len(want) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d of %d messages", n, len(want))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("msg %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v after Close", err)
+	}
+}
+
+func TestServerSkipsInvalidMessages(t *testing.T) {
+	server, client := net.Pipe()
+	var mu sync.Mutex
+	var got []Message
+	srv := &Server{Handler: func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.serveConn(server)
+	}()
+
+	// Invalid (negative frequency) then valid: raw writes bypass the
+	// encoder's validation.
+	if _, err := client.Write(Marshal(Message{Frequency: -1, Duration: 1, Intensity: 1})); err != nil {
+		t.Fatal(err)
+	}
+	valid := Message{Frequency: 440, Duration: 0.1, Intensity: 55}
+	if _, err := client.Write(Marshal(valid)); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0] != valid {
+		t.Errorf("got = %+v, want only the valid message", got)
+	}
+}
+
+func TestClientOverPipe(t *testing.T) {
+	server, client := net.Pipe()
+	c := NewClient(client)
+	go func() {
+		_ = c.Send(Message{Frequency: 440, Duration: 0.1, Intensity: 60})
+		c.Close()
+	}()
+	msgs, err := ReadAll(server)
+	if err != nil && err.Error() != "io: read/write on closed pipe" {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0].Frequency != 440 {
+		t.Errorf("msgs = %+v", msgs)
+	}
+}

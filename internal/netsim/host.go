@@ -1,0 +1,123 @@
+package netsim
+
+import "net/netip"
+
+// Host is an end system with a single network port.
+type Host struct {
+	// Name is the unique host name.
+	Name string
+	// Addr is the host's address.
+	Addr netip.Addr
+
+	// OnReceive, when set, observes every delivered packet.
+	OnReceive func(pkt *Packet)
+
+	sim  *Sim
+	port *Port
+
+	// RxPackets counts delivered packets.
+	RxPackets uint64
+	// RxBytes counts delivered bytes.
+	RxBytes uint64
+	// TxPackets counts sent packets.
+	TxPackets uint64
+	// TxBytes counts sent bytes.
+	TxBytes uint64
+
+	nextPktID uint64
+
+	// rxLog records (time, cumulative bytes) pairs when sampling is
+	// enabled with SampleGoodput.
+	rxSamples []Sample
+	sampler   *Ticker
+
+	// latencies records per-packet one-way delay when enabled with
+	// TrackLatency.
+	latencies    []float64
+	trackLatency bool
+}
+
+// Sample is one point of a sampled time series.
+type Sample struct {
+	// Time in virtual seconds.
+	Time float64
+	// Value of the sampled quantity.
+	Value float64
+}
+
+// NewHost creates a host with the given address.
+func NewHost(sim *Sim, name string, addr netip.Addr) *Host {
+	return &Host{Name: name, Addr: addr, sim: sim}
+}
+
+// NodeName implements Node.
+func (h *Host) NodeName() string { return h.Name }
+
+func (h *Host) attachPort(p *Port) {
+	if h.port != nil {
+		panic("netsim: host " + h.Name + " already connected")
+	}
+	h.port = p
+}
+
+// Port returns the host's single port (nil before Connect).
+func (h *Host) Port() *Port { return h.port }
+
+// Receive implements Node.
+func (h *Host) Receive(pkt *Packet, _ int) {
+	h.RxPackets++
+	h.RxBytes += uint64(pkt.Size)
+	if h.trackLatency {
+		h.latencies = append(h.latencies, h.sim.Now()-pkt.CreatedAt)
+	}
+	if h.OnReceive != nil {
+		h.OnReceive(pkt)
+	}
+}
+
+// TrackLatency starts recording each delivered packet's one-way delay
+// (send timestamp to delivery).
+func (h *Host) TrackLatency() { h.trackLatency = true }
+
+// Latencies returns the recorded one-way delays in arrival order.
+func (h *Host) Latencies() []float64 {
+	out := make([]float64, len(h.latencies))
+	copy(out, h.latencies)
+	return out
+}
+
+// Send transmits one packet with the given flow and size right now.
+func (h *Host) Send(flow FiveTuple, size int) {
+	if h.port == nil {
+		return
+	}
+	h.nextPktID++
+	h.TxPackets++
+	h.TxBytes += uint64(size)
+	h.port.Send(&Packet{
+		ID:        h.nextPktID,
+		Flow:      flow,
+		Size:      size,
+		CreatedAt: h.sim.Now(),
+	})
+}
+
+// SampleGoodput records cumulative received bytes every interval
+// seconds starting at start; RxSeries returns the series. Calling it
+// again restarts sampling.
+func (h *Host) SampleGoodput(start, interval float64) {
+	if h.sampler != nil {
+		h.sampler.Stop()
+	}
+	h.rxSamples = nil
+	h.sampler = h.sim.Every(start, interval, func(now float64) {
+		h.rxSamples = append(h.rxSamples, Sample{Time: now, Value: float64(h.RxBytes)})
+	})
+}
+
+// RxSeries returns the sampled cumulative received-bytes series.
+func (h *Host) RxSeries() []Sample {
+	out := make([]Sample, len(h.rxSamples))
+	copy(out, h.rxSamples)
+	return out
+}

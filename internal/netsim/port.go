@@ -1,0 +1,152 @@
+package netsim
+
+// Node is anything that can terminate a link: a host or a switch.
+type Node interface {
+	// NodeName returns the unique node name.
+	NodeName() string
+	// Receive handles a packet arriving on the given local port.
+	Receive(pkt *Packet, inPort int)
+}
+
+// Queue is a drop-tail FIFO of packets with a fixed capacity,
+// counting drops and tracking a high-water mark. Its occupancy is what
+// the paper's switches translate into queue tones (Section 6).
+type Queue struct {
+	// Capacity is the maximum number of queued packets; zero means
+	// unbounded.
+	Capacity int
+
+	pkts      []*Packet
+	drops     uint64
+	enqueued  uint64
+	highWater int
+}
+
+// Len returns the current occupancy in packets.
+func (q *Queue) Len() int { return len(q.pkts) }
+
+// Drops returns the number of packets rejected by a full queue.
+func (q *Queue) Drops() uint64 { return q.drops }
+
+// Enqueued returns the total number of packets accepted.
+func (q *Queue) Enqueued() uint64 { return q.enqueued }
+
+// HighWater returns the maximum occupancy ever observed.
+func (q *Queue) HighWater() int { return q.highWater }
+
+// Push appends a packet, reporting whether it was accepted.
+func (q *Queue) Push(p *Packet) bool {
+	if q.Capacity > 0 && len(q.pkts) >= q.Capacity {
+		q.drops++
+		return false
+	}
+	q.pkts = append(q.pkts, p)
+	q.enqueued++
+	if len(q.pkts) > q.highWater {
+		q.highWater = len(q.pkts)
+	}
+	return true
+}
+
+// Pop removes and returns the head packet, or nil when empty.
+func (q *Queue) Pop() *Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	p := q.pkts[0]
+	q.pkts[0] = nil
+	q.pkts = q.pkts[1:]
+	return p
+}
+
+// Port is one directed endpoint of a link: it transmits packets from
+// its owner toward the peer port's owner, serialising at Rate and
+// then propagating with Latency. Each Port has its own output queue.
+type Port struct {
+	// Owner is the node this port belongs to.
+	Owner Node
+	// Index is the port number on the owner (1-based, OpenFlow
+	// style).
+	Index int
+	// RateBps is the line rate in bits per second.
+	RateBps float64
+	// Latency is the propagation delay in seconds.
+	Latency float64
+	// Out is the output queue feeding the transmitter.
+	Out Queue
+
+	sim        *Sim
+	peer       *Port
+	busy       bool
+	down       bool
+	lostOnDown uint64
+}
+
+// Peer returns the port at the far end of the link, or nil when
+// unconnected.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Send enqueues a packet for transmission; if the queue is full the
+// packet is dropped (counted in Out.Drops). Transmission is
+// store-and-forward: serialisation delay Size*8/RateBps, then Latency.
+func (p *Port) Send(pkt *Packet) {
+	if p.peer == nil || p.down {
+		return // unplugged or downed port: packet vanishes
+	}
+	if !p.Out.Push(pkt) {
+		return
+	}
+	if !p.busy {
+		p.transmitNext()
+	}
+}
+
+func (p *Port) transmitNext() {
+	pkt := p.Out.Pop()
+	if pkt == nil {
+		p.busy = false
+		return
+	}
+	p.busy = true
+	tx := 0.0
+	if p.RateBps > 0 {
+		tx = float64(pkt.Size) * 8 / p.RateBps
+	}
+	peer := p.peer
+	latency := p.Latency
+	p.sim.After(tx, func() {
+		// Wire is free again: start the next packet.
+		p.transmitNext()
+		p.sim.After(latency, func() {
+			if p.down {
+				return // link died while the frame was in flight
+			}
+			peer.Owner.Receive(pkt, peer.Index)
+		})
+	})
+}
+
+// Connect wires two nodes with a full-duplex link of the given rate
+// and propagation delay, using the given port numbers on each side.
+// It returns the two directed ports (a-side, b-side). queueCap bounds
+// each direction's output queue (0 = unbounded).
+func Connect(sim *Sim, a Node, aPort int, b Node, bPort int, rateBps, latency float64, queueCap int) (*Port, *Port) {
+	pa := &Port{Owner: a, Index: aPort, RateBps: rateBps, Latency: latency, sim: sim}
+	pb := &Port{Owner: b, Index: bPort, RateBps: rateBps, Latency: latency, sim: sim}
+	pa.Out.Capacity = queueCap
+	pb.Out.Capacity = queueCap
+	pa.peer = pb
+	pb.peer = pa
+	if ap, ok := a.(porter); ok {
+		ap.attachPort(pa)
+	}
+	if bp, ok := b.(porter); ok {
+		bp.attachPort(pb)
+	}
+	return pa, pb
+}
+
+// porter is implemented by nodes that keep a port registry.
+type porter interface {
+	attachPort(*Port)
+}

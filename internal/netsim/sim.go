@@ -1,0 +1,136 @@
+// Package netsim is a deterministic discrete-event network simulator:
+// hosts, links with rate and propagation delay, switches with
+// drop-tail FIFO queues and prioritised match-action flow tables, and
+// traffic generators. It stands in for the paper's physical Zodiac FX
+// testbed and its Mininet virtual testbed.
+//
+// Time is virtual (float64 seconds). All randomness is seeded. Events
+// with equal timestamps fire in scheduling order, so runs are exactly
+// reproducible.
+package netsim
+
+import "container/heap"
+
+// event is one scheduled callback.
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the discrete-event engine. The zero value is not usable; use
+// NewSim.
+type Sim struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+}
+
+// NewSim returns an engine at time zero.
+func NewSim() *Sim {
+	s := &Sim{}
+	heap.Init(&s.events)
+	return s
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Schedule runs fn at virtual time at. Times in the past run
+// immediately at the current time (the engine never travels backward).
+func (s *Sim) Schedule(at float64, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// After runs fn after d seconds of virtual time.
+func (s *Sim) After(d float64, fn func()) {
+	s.Schedule(s.now+d, fn)
+}
+
+// Ticker identifies a repeating task started with Every; Stop cancels
+// future firings.
+type Ticker struct {
+	stopped bool
+}
+
+// Stop cancels the ticker.
+func (t *Ticker) Stop() { t.stopped = true }
+
+// Every runs fn at start, start+interval, start+2*interval, ... until
+// the returned Ticker is stopped. fn receives the firing time.
+func (s *Sim) Every(start, interval float64, fn func(now float64)) *Ticker {
+	if interval <= 0 {
+		panic("netsim: Every requires a positive interval")
+	}
+	t := &Ticker{}
+	var tick func()
+	at := start
+	tick = func() {
+		if t.stopped {
+			return
+		}
+		fn(s.now)
+		at += interval
+		s.Schedule(at, tick)
+	}
+	s.Schedule(start, tick)
+	return t
+}
+
+// RunUntil processes events up to and including time t, then sets the
+// clock to t. It returns the number of events processed.
+func (s *Sim) RunUntil(t float64) int {
+	n := 0
+	for s.events.Len() > 0 && s.events[0].at <= t {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		e.fn()
+		n++
+	}
+	if t > s.now {
+		s.now = t
+	}
+	return n
+}
+
+// Run processes every pending event (including those scheduled while
+// running), leaving the clock at the last event's time. Use RunUntil
+// for experiments with repeating tickers, which never drain. It
+// returns the number of events processed.
+func (s *Sim) Run() int {
+	n := 0
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		e.fn()
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return s.events.Len() }

@@ -1,0 +1,359 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+)
+
+// Match selects packets for a flow rule. Zero-valued fields are
+// wildcards (any); InPort 0 matches any ingress port.
+type Match struct {
+	InPort           int
+	Src, Dst         netip.Addr
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Matches reports whether the packet arriving on inPort satisfies the
+// match.
+func (m Match) Matches(pkt *Packet, inPort int) bool {
+	if m.InPort != 0 && m.InPort != inPort {
+		return false
+	}
+	if m.Src.IsValid() && m.Src != pkt.Flow.Src {
+		return false
+	}
+	if m.Dst.IsValid() && m.Dst != pkt.Flow.Dst {
+		return false
+	}
+	if m.SrcPort != 0 && m.SrcPort != pkt.Flow.SrcPort {
+		return false
+	}
+	if m.DstPort != 0 && m.DstPort != pkt.Flow.DstPort {
+		return false
+	}
+	if m.Proto != 0 && m.Proto != pkt.Flow.Proto {
+		return false
+	}
+	return true
+}
+
+// ActionKind enumerates what a matching rule does with a packet.
+type ActionKind int
+
+// Rule actions.
+const (
+	// ActionDrop discards the packet.
+	ActionDrop ActionKind = iota
+	// ActionOutput forwards out Ports[0].
+	ActionOutput
+	// ActionSplit round-robins packets across Ports — the paper's
+	// load-balancing Flow-MOD splits traffic across two ports.
+	ActionSplit
+	// ActionFlood forwards out every port except the ingress.
+	ActionFlood
+	// ActionController punts the packet to the controller callback.
+	ActionController
+	// ActionHashSplit spreads flows across Ports by five-tuple hash
+	// (ECMP): every packet of one flow takes the same path, avoiding
+	// the reordering that round-robin ActionSplit can cause.
+	ActionHashSplit
+)
+
+// String names the action kind.
+func (k ActionKind) String() string {
+	switch k {
+	case ActionDrop:
+		return "drop"
+	case ActionOutput:
+		return "output"
+	case ActionSplit:
+		return "split"
+	case ActionFlood:
+		return "flood"
+	case ActionController:
+		return "controller"
+	case ActionHashSplit:
+		return "hash-split"
+	default:
+		return "unknown"
+	}
+}
+
+// Action is what a rule does with matching packets.
+type Action struct {
+	Kind  ActionKind
+	Ports []int // for Output (first entry) and Split (all entries)
+}
+
+// Output returns a forward-to-port action.
+func Output(port int) Action { return Action{Kind: ActionOutput, Ports: []int{port}} }
+
+// Split returns a round-robin action over the given ports.
+func Split(ports ...int) Action { return Action{Kind: ActionSplit, Ports: ports} }
+
+// HashSplit returns an ECMP action over the given ports.
+func HashSplit(ports ...int) Action { return Action{Kind: ActionHashSplit, Ports: ports} }
+
+// Drop returns a drop action.
+func Drop() Action { return Action{Kind: ActionDrop} }
+
+// Rule is one prioritised flow-table entry.
+type Rule struct {
+	// Priority orders rules; higher wins. Equal priorities fall back
+	// to installation order (earlier wins).
+	Priority int
+	// Match selects packets.
+	Match Match
+	// Action is applied to matching packets.
+	Action Action
+	// IdleTimeout evicts the rule after this many seconds without a
+	// hit (0 = never). OpenFlow semantics: a knocked-open port closes
+	// itself again when the authorised flow goes quiet.
+	IdleTimeout float64
+	// HardTimeout evicts the rule this many seconds after
+	// installation regardless of traffic (0 = never).
+	HardTimeout float64
+
+	seq         uint64 // installation order
+	rrNext      int    // round-robin cursor for ActionSplit
+	installedAt float64
+	lastHitAt   float64
+	evicted     bool
+	// Packets counts rule hits (like OpenFlow cookie counters).
+	Packets uint64
+	// Bytes counts rule-hit bytes.
+	Bytes uint64
+}
+
+// Evicted reports whether a timeout removed the rule.
+func (r *Rule) Evicted() bool { return r.evicted }
+
+// Switch is a store-and-forward switch with a prioritised match-action
+// flow table. It models both the paper's physical Zodiac FX and its
+// Mininet virtual switches.
+type Switch struct {
+	// Name is the unique switch name.
+	Name string
+
+	// Tap, when set, observes every packet the switch receives
+	// before table lookup. The MDN applications hang their
+	// tone-emitting logic here (e.g. "play a sound whose frequency
+	// is based on the destination port", Section 5).
+	Tap func(pkt *Packet, inPort int)
+
+	// PacketIn, when set, receives packets that hit an
+	// ActionController rule or miss the table entirely (when
+	// MissToController is true).
+	PacketIn func(sw *Switch, pkt *Packet, inPort int)
+
+	// MissToController punts table misses to PacketIn instead of
+	// dropping them.
+	MissToController bool
+
+	// OnPortState, when set, observes port up/down transitions
+	// (the OpenFlow Port-Status signal).
+	OnPortState func(port int, up bool)
+
+	sim     *Sim
+	ports   map[int]*Port
+	table   []*Rule
+	ruleSeq uint64
+
+	// Counters.
+	RxPackets   uint64
+	TxPackets   uint64
+	TableMisses uint64
+	LoopDrops   uint64
+}
+
+// NewSwitch creates an empty switch registered on the simulator.
+func NewSwitch(sim *Sim, name string) *Switch {
+	return &Switch{Name: name, sim: sim, ports: make(map[int]*Port)}
+}
+
+// NodeName implements Node.
+func (s *Switch) NodeName() string { return s.Name }
+
+func (s *Switch) attachPort(p *Port) {
+	if _, dup := s.ports[p.Index]; dup {
+		panic(fmt.Sprintf("netsim: switch %s port %d already connected", s.Name, p.Index))
+	}
+	s.ports[p.Index] = p
+}
+
+// Port returns the port with the given number, or nil.
+func (s *Switch) Port(n int) *Port { return s.ports[n] }
+
+// Ports returns the connected port numbers in ascending order.
+func (s *Switch) Ports() []int {
+	out := make([]int, 0, len(s.ports))
+	for n := range s.ports {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// InstallRule adds a rule to the flow table, returning the installed
+// rule (so callers can read its counters later). This is the
+// switch-side effect of an OpenFlow Flow-MOD. Timeouts (if any) are
+// enforced against the simulator clock.
+func (s *Switch) InstallRule(r Rule) *Rule {
+	s.ruleSeq++
+	r.seq = s.ruleSeq
+	r.installedAt = s.sim.Now()
+	r.lastHitAt = r.installedAt
+	rp := &r
+	s.table = append(s.table, rp)
+	sort.SliceStable(s.table, func(i, j int) bool {
+		if s.table[i].Priority != s.table[j].Priority {
+			return s.table[i].Priority > s.table[j].Priority
+		}
+		return s.table[i].seq < s.table[j].seq
+	})
+	s.scheduleEviction(rp)
+	return rp
+}
+
+// scheduleEviction arms the rule's next timeout check.
+func (s *Switch) scheduleEviction(r *Rule) {
+	if r.IdleTimeout <= 0 && r.HardTimeout <= 0 {
+		return
+	}
+	next := math.Inf(1)
+	if r.HardTimeout > 0 {
+		next = r.installedAt + r.HardTimeout
+	}
+	if r.IdleTimeout > 0 {
+		if idle := r.lastHitAt + r.IdleTimeout; idle < next {
+			next = idle
+		}
+	}
+	s.sim.Schedule(next, func() {
+		if r.evicted {
+			return
+		}
+		now := s.sim.Now()
+		hardDue := r.HardTimeout > 0 && now >= r.installedAt+r.HardTimeout-1e-12
+		idleDue := r.IdleTimeout > 0 && now >= r.lastHitAt+r.IdleTimeout-1e-12
+		if hardDue || idleDue {
+			r.evicted = true
+			s.RemoveRules(func(x *Rule) bool { return x == r })
+			return
+		}
+		// Traffic refreshed the idle clock: re-arm.
+		s.scheduleEviction(r)
+	})
+}
+
+// RemoveRules deletes every rule matching the predicate and returns
+// how many were removed.
+func (s *Switch) RemoveRules(pred func(*Rule) bool) int {
+	kept := s.table[:0]
+	removed := 0
+	for _, r := range s.table {
+		if pred(r) {
+			removed++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	s.table = kept
+	return removed
+}
+
+// Rules returns the current table, highest priority first.
+func (s *Switch) Rules() []*Rule {
+	out := make([]*Rule, len(s.table))
+	copy(out, s.table)
+	return out
+}
+
+// Lookup returns the highest-priority rule matching the packet, or
+// nil on a miss.
+func (s *Switch) Lookup(pkt *Packet, inPort int) *Rule {
+	for _, r := range s.table {
+		if r.Match.Matches(pkt, inPort) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Receive implements Node: table lookup and action execution.
+func (s *Switch) Receive(pkt *Packet, inPort int) {
+	s.RxPackets++
+	pkt.Hops++
+	if pkt.Hops > MaxHops {
+		s.LoopDrops++
+		return
+	}
+	if s.Tap != nil {
+		s.Tap(pkt, inPort)
+	}
+	rule := s.Lookup(pkt, inPort)
+	if rule == nil {
+		s.TableMisses++
+		if s.MissToController && s.PacketIn != nil {
+			s.PacketIn(s, pkt, inPort)
+		}
+		return
+	}
+	rule.Packets++
+	rule.Bytes += uint64(pkt.Size)
+	rule.lastHitAt = s.sim.Now()
+	switch rule.Action.Kind {
+	case ActionDrop:
+	case ActionOutput:
+		if len(rule.Action.Ports) > 0 {
+			s.sendOut(rule.Action.Ports[0], pkt)
+		}
+	case ActionSplit:
+		if n := len(rule.Action.Ports); n > 0 {
+			port := rule.Action.Ports[rule.rrNext%n]
+			rule.rrNext++
+			s.sendOut(port, pkt)
+		}
+	case ActionHashSplit:
+		if n := len(rule.Action.Ports); n > 0 {
+			port := rule.Action.Ports[pkt.Flow.Hash()%uint64(n)]
+			s.sendOut(port, pkt)
+		}
+	case ActionFlood:
+		for _, n := range s.Ports() {
+			if n != inPort {
+				// Each egress gets its own copy so per-copy Hops
+				// accounting stays independent.
+				cp := *pkt
+				s.sendOut(n, &cp)
+			}
+		}
+	case ActionController:
+		if s.PacketIn != nil {
+			s.PacketIn(s, pkt, inPort)
+		}
+	}
+}
+
+func (s *Switch) sendOut(portNo int, pkt *Packet) {
+	p := s.ports[portNo]
+	if p == nil {
+		return
+	}
+	s.TxPackets++
+	p.Send(pkt)
+}
+
+// QueueLen returns the output-queue occupancy of the given port (0
+// for unknown ports) — the quantity the paper polls with tc every
+// 300 ms.
+func (s *Switch) QueueLen(portNo int) int {
+	p := s.ports[portNo]
+	if p == nil {
+		return 0
+	}
+	return p.Out.Len()
+}

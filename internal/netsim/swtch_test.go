@@ -1,0 +1,265 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// star builds h1 -- s -- h2 (+optional h3 on port 3).
+func star(t *testing.T, threeHosts bool) (*Sim, *Host, *Switch, *Host, *Host) {
+	t.Helper()
+	sim := NewSim()
+	h1 := NewHost(sim, "h1", MustAddr("10.0.0.1"))
+	h2 := NewHost(sim, "h2", MustAddr("10.0.0.2"))
+	s := NewSwitch(sim, "s1")
+	Connect(sim, h1, 1, s, 1, 1e9, 0, 0)
+	Connect(sim, h2, 1, s, 2, 1e9, 0, 0)
+	var h3 *Host
+	if threeHosts {
+		h3 = NewHost(sim, "h3", MustAddr("10.0.0.3"))
+		Connect(sim, h3, 1, s, 3, 1e9, 0, 0)
+	}
+	return sim, h1, s, h2, h3
+}
+
+func TestSwitchForwardsOnMatch(t *testing.T) {
+	sim, h1, s, h2, _ := star(t, false)
+	rule := s.InstallRule(Rule{Priority: 1, Match: Match{Dst: h2.Addr}, Action: Output(2)})
+	h1.Send(tuple(5000, 80), 500)
+	sim.Run()
+	if h2.RxPackets != 1 {
+		t.Fatalf("h2 rx = %d", h2.RxPackets)
+	}
+	if rule.Packets != 1 || rule.Bytes != 500 {
+		t.Errorf("rule counters = %d pkts %d bytes", rule.Packets, rule.Bytes)
+	}
+	if s.RxPackets != 1 || s.TxPackets != 1 {
+		t.Errorf("switch counters rx=%d tx=%d", s.RxPackets, s.TxPackets)
+	}
+}
+
+func TestSwitchTableMissDrops(t *testing.T) {
+	sim, h1, s, h2, _ := star(t, false)
+	h1.Send(tuple(1, 2), 100)
+	sim.Run()
+	if h2.RxPackets != 0 {
+		t.Error("miss should drop")
+	}
+	if s.TableMisses != 1 {
+		t.Errorf("misses = %d", s.TableMisses)
+	}
+}
+
+func TestSwitchMissToController(t *testing.T) {
+	sim, h1, s, _, _ := star(t, false)
+	s.MissToController = true
+	var punted *Packet
+	s.PacketIn = func(sw *Switch, pkt *Packet, inPort int) {
+		punted = pkt
+		if inPort != 1 {
+			t.Errorf("inPort = %d", inPort)
+		}
+	}
+	h1.Send(tuple(1, 2), 100)
+	sim.Run()
+	if punted == nil {
+		t.Fatal("no PacketIn")
+	}
+}
+
+func TestSwitchPriorityOrdering(t *testing.T) {
+	sim, h1, s, h2, _ := star(t, false)
+	s.InstallRule(Rule{Priority: 1, Match: Match{}, Action: Drop()})
+	s.InstallRule(Rule{Priority: 10, Match: Match{Dst: h2.Addr}, Action: Output(2)})
+	h1.Send(tuple(1, 80), 100)
+	sim.Run()
+	if h2.RxPackets != 1 {
+		t.Error("higher-priority output rule should win over low-priority drop")
+	}
+}
+
+func TestSwitchEqualPriorityFIFO(t *testing.T) {
+	sim, h1, s, h2, _ := star(t, false)
+	first := s.InstallRule(Rule{Priority: 5, Match: Match{}, Action: Output(2)})
+	second := s.InstallRule(Rule{Priority: 5, Match: Match{}, Action: Drop()})
+	h1.Send(tuple(1, 80), 100)
+	sim.Run()
+	if first.Packets != 1 || second.Packets != 0 {
+		t.Errorf("first=%d second=%d; earlier-installed equal-priority rule should win",
+			first.Packets, second.Packets)
+	}
+	if h2.RxPackets != 1 {
+		t.Error("packet should have been forwarded")
+	}
+}
+
+func TestSwitchMatchFields(t *testing.T) {
+	pkt := &Packet{Flow: tuple(1000, 80)}
+	cases := []struct {
+		name string
+		m    Match
+		want bool
+	}{
+		{"wildcard", Match{}, true},
+		{"dst port hit", Match{DstPort: 80}, true},
+		{"dst port miss", Match{DstPort: 81}, false},
+		{"src hit", Match{Src: MustAddr("10.0.0.1")}, true},
+		{"src miss", Match{Src: MustAddr("10.9.9.9")}, false},
+		{"dst hit", Match{Dst: MustAddr("10.0.0.2")}, true},
+		{"proto hit", Match{Proto: ProtoTCP}, true},
+		{"proto miss", Match{Proto: ProtoUDP}, false},
+		{"src port hit", Match{SrcPort: 1000}, true},
+		{"src port miss", Match{SrcPort: 2}, false},
+		{"in port hit", Match{InPort: 3}, true},
+		{"combo", Match{DstPort: 80, Proto: ProtoTCP, InPort: 3}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.m.Matches(pkt, 3); got != tc.want {
+			t.Errorf("%s: got %v", tc.name, got)
+		}
+	}
+	if (Match{InPort: 2}).Matches(pkt, 3) {
+		t.Error("in-port mismatch should fail")
+	}
+}
+
+func TestSwitchSplitRoundRobin(t *testing.T) {
+	sim, h1, s, h2, h3 := star(t, true)
+	_ = h2
+	_ = h3
+	s.InstallRule(Rule{Priority: 1, Match: Match{}, Action: Split(2, 3)})
+	for i := 0; i < 10; i++ {
+		h1.Send(tuple(1, 80), 100)
+	}
+	sim.Run()
+	if h2.RxPackets != 5 || h3.RxPackets != 5 {
+		t.Errorf("split = %d/%d, want 5/5", h2.RxPackets, h3.RxPackets)
+	}
+}
+
+func TestSwitchFlood(t *testing.T) {
+	sim, h1, s, h2, h3 := star(t, true)
+	s.InstallRule(Rule{Priority: 1, Match: Match{}, Action: Action{Kind: ActionFlood}})
+	h1.Send(tuple(1, 80), 100)
+	sim.Run()
+	if h2.RxPackets != 1 || h3.RxPackets != 1 {
+		t.Errorf("flood delivered %d/%d", h2.RxPackets, h3.RxPackets)
+	}
+	if h1.RxPackets != 0 {
+		t.Error("flood must not echo to ingress")
+	}
+}
+
+func TestSwitchControllerAction(t *testing.T) {
+	sim, h1, s, _, _ := star(t, false)
+	hits := 0
+	s.PacketIn = func(*Switch, *Packet, int) { hits++ }
+	s.InstallRule(Rule{Priority: 1, Match: Match{DstPort: 22}, Action: Action{Kind: ActionController}})
+	f := tuple(1, 22)
+	h1.Send(f, 100)
+	sim.Run()
+	if hits != 1 {
+		t.Errorf("controller hits = %d", hits)
+	}
+}
+
+func TestSwitchTapSeesEverything(t *testing.T) {
+	sim, h1, s, h2, _ := star(t, false)
+	var tapped []uint16
+	s.Tap = func(pkt *Packet, _ int) { tapped = append(tapped, pkt.Flow.DstPort) }
+	s.InstallRule(Rule{Priority: 1, Match: Match{Dst: h2.Addr}, Action: Output(2)})
+	h1.Send(tuple(1, 80), 100)
+	h1.Send(tuple(1, 9999), 100) // will miss the table; tap still sees it
+	sim.Run()
+	if len(tapped) != 2 || tapped[0] != 80 || tapped[1] != 9999 {
+		t.Errorf("tapped = %v", tapped)
+	}
+}
+
+func TestSwitchRemoveRules(t *testing.T) {
+	sim, h1, s, h2, _ := star(t, false)
+	s.InstallRule(Rule{Priority: 1, Match: Match{DstPort: 80}, Action: Output(2)})
+	s.InstallRule(Rule{Priority: 1, Match: Match{DstPort: 81}, Action: Output(2)})
+	if n := s.RemoveRules(func(r *Rule) bool { return r.Match.DstPort == 80 }); n != 1 {
+		t.Fatalf("removed = %d", n)
+	}
+	h1.Send(tuple(1, 80), 100)
+	h1.Send(tuple(1, 81), 100)
+	sim.Run()
+	if h2.RxPackets != 1 {
+		t.Errorf("rx = %d, want only port-81 packet", h2.RxPackets)
+	}
+	if len(s.Rules()) != 1 {
+		t.Errorf("rules = %d", len(s.Rules()))
+	}
+}
+
+func TestSwitchLoopGuard(t *testing.T) {
+	// Two switches forwarding to each other forever: loop guard must
+	// kill the packet.
+	sim := NewSim()
+	a := NewSwitch(sim, "a")
+	b := NewSwitch(sim, "b")
+	h := NewHost(sim, "h", MustAddr("10.0.0.1"))
+	Connect(sim, h, 1, a, 1, 1e9, 0, 0)
+	Connect(sim, a, 2, b, 1, 1e9, 0, 0)
+	a.InstallRule(Rule{Priority: 1, Match: Match{}, Action: Output(2)})
+	b.InstallRule(Rule{Priority: 1, Match: Match{}, Action: Output(1)})
+	h.Send(tuple(1, 2), 100)
+	sim.Run()
+	if a.LoopDrops+b.LoopDrops != 1 {
+		t.Errorf("loop drops = %d, want 1", a.LoopDrops+b.LoopDrops)
+	}
+}
+
+func TestSwitchQueueLen(t *testing.T) {
+	sim := NewSim()
+	h1 := NewHost(sim, "h1", MustAddr("10.0.0.1"))
+	h2 := NewHost(sim, "h2", MustAddr("10.0.0.2"))
+	s := NewSwitch(sim, "s")
+	Connect(sim, h1, 1, s, 1, 1e9, 0, 0)
+	Connect(sim, s, 2, h2, 1, 1e5, 0, 100) // slow egress
+	s.InstallRule(Rule{Priority: 1, Match: Match{}, Action: Output(2)})
+	for i := 0; i < 50; i++ {
+		h1.Send(tuple(1, 2), 1500)
+	}
+	sim.RunUntil(0.001)
+	if got := s.QueueLen(2); got < 40 {
+		t.Errorf("queue len = %d, want most of the burst queued", got)
+	}
+	if s.QueueLen(99) != 0 {
+		t.Error("unknown port should report 0")
+	}
+	sim.RunUntil(10)
+	if s.QueueLen(2) != 0 {
+		t.Error("queue should drain")
+	}
+	if h2.RxPackets != 50 {
+		t.Errorf("delivered = %d", h2.RxPackets)
+	}
+}
+
+func TestSwitchDuplicatePortPanics(t *testing.T) {
+	sim := NewSim()
+	s := NewSwitch(sim, "s")
+	h1 := NewHost(sim, "h1", MustAddr("10.0.0.1"))
+	h2 := NewHost(sim, "h2", MustAddr("10.0.0.2"))
+	Connect(sim, h1, 1, s, 1, 1e9, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Connect(sim, h2, 1, s, 1, 1e9, 0, 0)
+}
+
+func TestActionKindString(t *testing.T) {
+	names := map[ActionKind]string{
+		ActionDrop: "drop", ActionOutput: "output", ActionSplit: "split",
+		ActionFlood: "flood", ActionController: "controller", ActionKind(42): "unknown",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package netsim
+
+import "testing"
+
+func TestRuleHardTimeout(t *testing.T) {
+	sim, h1, s, h2, _ := star(t, false)
+	rule := s.InstallRule(Rule{
+		Priority: 1, Match: Match{Dst: h2.Addr}, Action: Output(2),
+		HardTimeout: 2,
+	})
+	// Traffic before and after the timeout.
+	StartCBR(sim, h1, tuple(1, 80), 10, 100, 0, 4)
+	sim.RunUntil(5)
+	if !rule.Evicted() {
+		t.Fatal("hard timeout did not evict")
+	}
+	if len(s.Rules()) != 0 {
+		t.Error("rule still in table")
+	}
+	// ~20 packets before eviction delivered, the rest dropped.
+	if h2.RxPackets < 18 || h2.RxPackets > 22 {
+		t.Errorf("delivered = %d, want ~20 (traffic does not extend a hard timeout)", h2.RxPackets)
+	}
+}
+
+func TestRuleIdleTimeoutRefreshedByTraffic(t *testing.T) {
+	sim, h1, s, h2, _ := star(t, false)
+	rule := s.InstallRule(Rule{
+		Priority: 1, Match: Match{Dst: h2.Addr}, Action: Output(2),
+		IdleTimeout: 1,
+	})
+	// Steady traffic at 2 pps keeps the rule alive well past 1 s.
+	StartCBR(sim, h1, tuple(1, 80), 2, 100, 0, 5)
+	sim.RunUntil(5.5)
+	if rule.Evicted() {
+		t.Fatal("active rule evicted despite traffic")
+	}
+	// After the flow stops, the rule idles out.
+	sim.RunUntil(8)
+	if !rule.Evicted() {
+		t.Fatal("idle rule not evicted")
+	}
+	if h2.RxPackets != 10 {
+		t.Errorf("delivered = %d, want all 10", h2.RxPackets)
+	}
+}
+
+func TestRuleIdleTimeoutWithoutTraffic(t *testing.T) {
+	sim, _, s, h2, _ := star(t, false)
+	rule := s.InstallRule(Rule{
+		Priority: 1, Match: Match{Dst: h2.Addr}, Action: Output(2),
+		IdleTimeout: 0.5,
+	})
+	sim.RunUntil(1)
+	if !rule.Evicted() || len(s.Rules()) != 0 {
+		t.Error("untouched rule should idle out at 0.5 s")
+	}
+}
+
+func TestRuleNoTimeoutsPersist(t *testing.T) {
+	sim, _, s, h2, _ := star(t, false)
+	rule := s.InstallRule(Rule{Priority: 1, Match: Match{Dst: h2.Addr}, Action: Output(2)})
+	sim.RunUntil(100)
+	if rule.Evicted() || len(s.Rules()) != 1 {
+		t.Error("rule without timeouts must persist")
+	}
+	if sim.Pending() != 0 {
+		t.Errorf("timeout machinery leaked %d events", sim.Pending())
+	}
+}
+
+func TestRuleBothTimeoutsHardWins(t *testing.T) {
+	sim, h1, s, h2, _ := star(t, false)
+	rule := s.InstallRule(Rule{
+		Priority: 1, Match: Match{Dst: h2.Addr}, Action: Output(2),
+		IdleTimeout: 1, HardTimeout: 3,
+	})
+	// Continuous traffic defeats the idle timeout, but the hard
+	// timeout still fires at t=3.
+	StartCBR(sim, h1, tuple(1, 80), 5, 100, 0, 10)
+	sim.RunUntil(3.5)
+	if !rule.Evicted() {
+		t.Error("hard timeout should win over refreshed idle timeout")
+	}
+}
+
+func TestManualRemoveBeforeTimeoutIsSafe(t *testing.T) {
+	sim, _, s, h2, _ := star(t, false)
+	s.InstallRule(Rule{
+		Priority: 1, Match: Match{Dst: h2.Addr}, Action: Output(2),
+		HardTimeout: 2,
+	})
+	s.RemoveRules(func(*Rule) bool { return true })
+	sim.RunUntil(5) // the armed eviction event must not panic or re-add
+	if len(s.Rules()) != 0 {
+		t.Error("table should stay empty")
+	}
+}

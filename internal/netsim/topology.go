@@ -1,0 +1,118 @@
+package netsim
+
+import "fmt"
+
+// LinkSpec bundles the parameters of a link.
+type LinkSpec struct {
+	// RateBps is the line rate in bits/second.
+	RateBps float64
+	// Latency is the propagation delay in seconds.
+	Latency float64
+	// QueueCap bounds each direction's output queue in packets
+	// (0 = unbounded).
+	QueueCap int
+}
+
+// Line is a chain topology h1 — s1 — s2 — … — sn — h2 with forwarding
+// rules pre-installed in both directions.
+type Line struct {
+	Sim      *Sim
+	H1, H2   *Host
+	Switches []*Switch
+}
+
+// NewLine builds an n-switch chain. Hosts get 10.0.0.1 and 10.0.0.2.
+// Port numbering on each switch: 1 faces h1, 2 faces h2.
+func NewLine(sim *Sim, n int, link LinkSpec) *Line {
+	if n < 1 {
+		panic("netsim: NewLine requires at least one switch")
+	}
+	l := &Line{
+		Sim: sim,
+		H1:  NewHost(sim, "h1", MustAddr("10.0.0.1")),
+		H2:  NewHost(sim, "h2", MustAddr("10.0.0.2")),
+	}
+	for i := 0; i < n; i++ {
+		l.Switches = append(l.Switches, NewSwitch(sim, fmt.Sprintf("s%d", i+1)))
+	}
+	Connect(sim, l.H1, 1, l.Switches[0], 1, link.RateBps, link.Latency, link.QueueCap)
+	for i := 0; i+1 < n; i++ {
+		Connect(sim, l.Switches[i], 2, l.Switches[i+1], 1, link.RateBps, link.Latency, link.QueueCap)
+	}
+	Connect(sim, l.Switches[n-1], 2, l.H2, 1, link.RateBps, link.Latency, link.QueueCap)
+	for _, sw := range l.Switches {
+		sw.InstallRule(Rule{Priority: 1, Match: Match{Dst: l.H2.Addr}, Action: Output(2)})
+		sw.InstallRule(Rule{Priority: 1, Match: Match{Dst: l.H1.Addr}, Action: Output(1)})
+	}
+	return l
+}
+
+// Rhombus is the paper's load-balancing topology (Section 6): four
+// switches in a diamond with the two hosts on opposite vertices.
+//
+//	        s2 (upper path)
+//	       /  \
+//	h1 — s1    s4 — h2
+//	       \  /
+//	        s3 (lower path)
+//
+// Port numbers: s1: 1=h1, 2=s2, 3=s3. s2: 1=s1, 2=s4. s3: 1=s1,
+// 2=s4. s4: 1=s2, 2=s3, 3=h2.
+type Rhombus struct {
+	Sim            *Sim
+	H1, H2         *Host
+	S1, S2, S3, S4 *Switch
+}
+
+// NewRhombus builds the diamond with identical links everywhere and
+// initial routing pinned to the upper path (s1→s2→s4), matching the
+// paper's "initially using a single path" setup.
+func NewRhombus(sim *Sim, link LinkSpec) *Rhombus {
+	return NewRhombusLinks(sim, link, link)
+}
+
+// NewRhombusLinks builds the diamond with distinct host-access and
+// switch-core link specs. Congestion experiments want fast host links
+// so queues build inside the network (at s1's core-facing ports)
+// rather than at the source host's own egress.
+func NewRhombusLinks(sim *Sim, hostLink, coreLink LinkSpec) *Rhombus {
+	r := &Rhombus{
+		Sim: sim,
+		H1:  NewHost(sim, "h1", MustAddr("10.0.0.1")),
+		H2:  NewHost(sim, "h2", MustAddr("10.0.0.2")),
+		S1:  NewSwitch(sim, "s1"),
+		S2:  NewSwitch(sim, "s2"),
+		S3:  NewSwitch(sim, "s3"),
+		S4:  NewSwitch(sim, "s4"),
+	}
+	Connect(sim, r.H1, 1, r.S1, 1, hostLink.RateBps, hostLink.Latency, hostLink.QueueCap)
+	Connect(sim, r.S1, 2, r.S2, 1, coreLink.RateBps, coreLink.Latency, coreLink.QueueCap)
+	Connect(sim, r.S1, 3, r.S3, 1, coreLink.RateBps, coreLink.Latency, coreLink.QueueCap)
+	Connect(sim, r.S2, 2, r.S4, 1, coreLink.RateBps, coreLink.Latency, coreLink.QueueCap)
+	Connect(sim, r.S3, 2, r.S4, 2, coreLink.RateBps, coreLink.Latency, coreLink.QueueCap)
+	Connect(sim, r.S4, 3, r.H2, 1, hostLink.RateBps, hostLink.Latency, hostLink.QueueCap)
+
+	// Forward direction, single (upper) path initially.
+	r.S1.InstallRule(Rule{Priority: 1, Match: Match{Dst: r.H2.Addr}, Action: Output(2)})
+	r.S2.InstallRule(Rule{Priority: 1, Match: Match{Dst: r.H2.Addr}, Action: Output(2)})
+	r.S3.InstallRule(Rule{Priority: 1, Match: Match{Dst: r.H2.Addr}, Action: Output(2)})
+	r.S4.InstallRule(Rule{Priority: 1, Match: Match{Dst: r.H2.Addr}, Action: Output(3)})
+	// Reverse direction.
+	r.S4.InstallRule(Rule{Priority: 1, Match: Match{Dst: r.H1.Addr}, Action: Output(1)})
+	r.S2.InstallRule(Rule{Priority: 1, Match: Match{Dst: r.H1.Addr}, Action: Output(1)})
+	r.S3.InstallRule(Rule{Priority: 1, Match: Match{Dst: r.H1.Addr}, Action: Output(1)})
+	r.S1.InstallRule(Rule{Priority: 1, Match: Match{Dst: r.H1.Addr}, Action: Output(1)})
+	return r
+}
+
+// BalanceUpper installs the load-balancing Flow-MOD on s1: traffic to
+// h2 round-robins across the upper and lower paths. This is exactly
+// the rule the MDN controller installs when it hears the congestion
+// tone (Figure 5a).
+func (r *Rhombus) BalanceUpper() *Rule {
+	return r.S1.InstallRule(Rule{
+		Priority: 10,
+		Match:    Match{Dst: r.H2.Addr},
+		Action:   Split(2, 3),
+	})
+}

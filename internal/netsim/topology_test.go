@@ -1,0 +1,74 @@
+package netsim
+
+import "testing"
+
+func TestLineForwardsBothWays(t *testing.T) {
+	sim := NewSim()
+	l := NewLine(sim, 3, LinkSpec{RateBps: 1e9, Latency: 0.001})
+	f := FiveTuple{Src: l.H1.Addr, Dst: l.H2.Addr, SrcPort: 1, DstPort: 2, Proto: ProtoUDP}
+	l.H1.Send(f, 100)
+	l.H2.Send(f.Reverse(), 100)
+	sim.Run()
+	if l.H2.RxPackets != 1 {
+		t.Errorf("h2 rx = %d", l.H2.RxPackets)
+	}
+	if l.H1.RxPackets != 1 {
+		t.Errorf("h1 rx = %d", l.H1.RxPackets)
+	}
+}
+
+func TestLinePanicsOnZeroSwitches(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLine(NewSim(), 0, LinkSpec{RateBps: 1e9})
+}
+
+func TestRhombusSinglePathInitially(t *testing.T) {
+	sim := NewSim()
+	r := NewRhombus(sim, LinkSpec{RateBps: 1e9, Latency: 0.001})
+	f := FiveTuple{Src: r.H1.Addr, Dst: r.H2.Addr, SrcPort: 1, DstPort: 2, Proto: ProtoUDP}
+	for i := 0; i < 10; i++ {
+		r.H1.Send(f, 100)
+	}
+	sim.Run()
+	if r.H2.RxPackets != 10 {
+		t.Fatalf("h2 rx = %d", r.H2.RxPackets)
+	}
+	if r.S2.RxPackets != 10 {
+		t.Errorf("upper path rx = %d, want all 10", r.S2.RxPackets)
+	}
+	if r.S3.RxPackets != 0 {
+		t.Errorf("lower path rx = %d, want 0 before balancing", r.S3.RxPackets)
+	}
+}
+
+func TestRhombusBalanceSplitsTraffic(t *testing.T) {
+	sim := NewSim()
+	r := NewRhombus(sim, LinkSpec{RateBps: 1e9, Latency: 0.001})
+	r.BalanceUpper()
+	f := FiveTuple{Src: r.H1.Addr, Dst: r.H2.Addr, SrcPort: 1, DstPort: 2, Proto: ProtoUDP}
+	for i := 0; i < 10; i++ {
+		r.H1.Send(f, 100)
+	}
+	sim.Run()
+	if r.H2.RxPackets != 10 {
+		t.Fatalf("h2 rx = %d", r.H2.RxPackets)
+	}
+	if r.S2.RxPackets != 5 || r.S3.RxPackets != 5 {
+		t.Errorf("split = %d/%d, want 5/5", r.S2.RxPackets, r.S3.RxPackets)
+	}
+}
+
+func TestRhombusReversePath(t *testing.T) {
+	sim := NewSim()
+	r := NewRhombus(sim, LinkSpec{RateBps: 1e9, Latency: 0.001})
+	f := FiveTuple{Src: r.H2.Addr, Dst: r.H1.Addr, SrcPort: 2, DstPort: 1, Proto: ProtoUDP}
+	r.H2.Send(f, 100)
+	sim.Run()
+	if r.H1.RxPackets != 1 {
+		t.Errorf("h1 rx = %d", r.H1.RxPackets)
+	}
+}

@@ -1,0 +1,299 @@
+// Package openflow provides the minimal OpenFlow-like control-plane
+// messages the Music-Defined Networking controller uses to program
+// switches: Flow-MOD (install/remove rules), Packet-In (table punts),
+// and Port-Status. Messages have a compact binary wire format so the
+// control channel can run over a real transport as well as inside the
+// simulator.
+package openflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net/netip"
+
+	"mdn/internal/netsim"
+)
+
+// MessageType discriminates control messages.
+type MessageType uint8
+
+// Control message types.
+const (
+	// TypeFlowMod installs or removes a flow rule.
+	TypeFlowMod MessageType = iota + 1
+	// TypePacketIn reports a packet punted to the controller.
+	TypePacketIn
+	// TypePortStatus reports a port going up or down.
+	TypePortStatus
+)
+
+// String names the message type.
+func (t MessageType) String() string {
+	switch t {
+	case TypeFlowMod:
+		return "flow-mod"
+	case TypePacketIn:
+		return "packet-in"
+	case TypePortStatus:
+		return "port-status"
+	default:
+		return "unknown"
+	}
+}
+
+// FlowModCommand selects what a Flow-MOD does.
+type FlowModCommand uint8
+
+// Flow-MOD commands.
+const (
+	// FlowAdd installs the rule.
+	FlowAdd FlowModCommand = iota
+	// FlowDelete removes rules whose match equals the message match.
+	FlowDelete
+)
+
+// FlowMod asks a switch to add or delete a rule.
+type FlowMod struct {
+	Command  FlowModCommand
+	Priority int32
+	Match    netsim.Match
+	Action   netsim.Action
+	// IdleTimeout and HardTimeout carry OpenFlow rule expiry in
+	// seconds (0 = none).
+	IdleTimeout float64
+	HardTimeout float64
+}
+
+// PacketIn reports a packet that hit a controller action or missed
+// the table.
+type PacketIn struct {
+	// Switch is the reporting switch name.
+	Switch string
+	// InPort is the ingress port.
+	InPort int32
+	// Flow is the packet's five-tuple.
+	Flow netsim.FiveTuple
+	// Size is the packet size in bytes.
+	Size int32
+}
+
+// PortStatus reports a port state change.
+type PortStatus struct {
+	// Switch is the reporting switch name.
+	Switch string
+	// Port is the port number.
+	Port int32
+	// Up reports the new state.
+	Up bool
+}
+
+// Apply executes the Flow-MOD against a simulated switch, returning
+// the installed rule for FlowAdd (nil for FlowDelete).
+func (m FlowMod) Apply(sw *netsim.Switch) *netsim.Rule {
+	switch m.Command {
+	case FlowAdd:
+		return sw.InstallRule(netsim.Rule{
+			Priority:    int(m.Priority),
+			Match:       m.Match,
+			Action:      m.Action,
+			IdleTimeout: m.IdleTimeout,
+			HardTimeout: m.HardTimeout,
+		})
+	case FlowDelete:
+		sw.RemoveRules(func(r *netsim.Rule) bool { return r.Match == m.Match })
+	}
+	return nil
+}
+
+// Wire format: every message is
+//
+//	magic   uint16  0x0F4D ("OF"+"M"usic)
+//	type    uint8
+//	length  uint16  payload bytes
+//	payload ...
+//
+// Integers are big-endian, network order.
+const magic = 0x0F4D
+
+// ErrBadMessage reports a malformed control message.
+var ErrBadMessage = errors.New("openflow: malformed message")
+
+const headerLen = 5
+
+func putAddr(dst []byte, a netip.Addr) {
+	if a.IsValid() {
+		b := a.As4()
+		copy(dst, b[:])
+	}
+}
+
+func getAddr(src []byte) netip.Addr {
+	var b [4]byte
+	copy(b[:], src)
+	if b == ([4]byte{}) {
+		return netip.Addr{}
+	}
+	return netip.AddrFrom4(b)
+}
+
+func marshalMatch(dst []byte, m netsim.Match) {
+	binary.BigEndian.PutUint32(dst[0:4], uint32(m.InPort))
+	putAddr(dst[4:8], m.Src)
+	putAddr(dst[8:12], m.Dst)
+	binary.BigEndian.PutUint16(dst[12:14], m.SrcPort)
+	binary.BigEndian.PutUint16(dst[14:16], m.DstPort)
+	dst[16] = m.Proto
+}
+
+func unmarshalMatch(src []byte) netsim.Match {
+	return netsim.Match{
+		InPort:  int(binary.BigEndian.Uint32(src[0:4])),
+		Src:     getAddr(src[4:8]),
+		Dst:     getAddr(src[8:12]),
+		SrcPort: binary.BigEndian.Uint16(src[12:14]),
+		DstPort: binary.BigEndian.Uint16(src[14:16]),
+		Proto:   src[16],
+	}
+}
+
+const matchLen = 17
+
+// MarshalFlowMod encodes a Flow-MOD.
+func MarshalFlowMod(m FlowMod) []byte {
+	payload := make([]byte, 1+4+matchLen+16+1+1+len(m.Action.Ports)*4)
+	payload[0] = byte(m.Command)
+	binary.BigEndian.PutUint32(payload[1:5], uint32(m.Priority))
+	marshalMatch(payload[5:], m.Match)
+	off := 5 + matchLen
+	binary.BigEndian.PutUint64(payload[off:], math.Float64bits(m.IdleTimeout))
+	binary.BigEndian.PutUint64(payload[off+8:], math.Float64bits(m.HardTimeout))
+	off += 16
+	payload[off] = byte(m.Action.Kind)
+	payload[off+1] = byte(len(m.Action.Ports))
+	for i, p := range m.Action.Ports {
+		binary.BigEndian.PutUint32(payload[off+2+i*4:], uint32(p))
+	}
+	return frame(TypeFlowMod, payload)
+}
+
+// MarshalPacketIn encodes a Packet-In.
+func MarshalPacketIn(p PacketIn) []byte {
+	name := []byte(p.Switch)
+	payload := make([]byte, 1+len(name)+4+matchLen+4)
+	payload[0] = byte(len(name))
+	copy(payload[1:], name)
+	off := 1 + len(name)
+	binary.BigEndian.PutUint32(payload[off:], uint32(p.InPort))
+	off += 4
+	marshalMatch(payload[off:], netsim.Match{
+		Src: p.Flow.Src, Dst: p.Flow.Dst,
+		SrcPort: p.Flow.SrcPort, DstPort: p.Flow.DstPort, Proto: p.Flow.Proto,
+	})
+	off += matchLen
+	binary.BigEndian.PutUint32(payload[off:], uint32(p.Size))
+	return frame(TypePacketIn, payload)
+}
+
+// MarshalPortStatus encodes a Port-Status.
+func MarshalPortStatus(p PortStatus) []byte {
+	name := []byte(p.Switch)
+	payload := make([]byte, 1+len(name)+4+1)
+	payload[0] = byte(len(name))
+	copy(payload[1:], name)
+	off := 1 + len(name)
+	binary.BigEndian.PutUint32(payload[off:], uint32(p.Port))
+	if p.Up {
+		payload[off+4] = 1
+	}
+	return frame(TypePortStatus, payload)
+}
+
+func frame(t MessageType, payload []byte) []byte {
+	out := make([]byte, headerLen+len(payload))
+	binary.BigEndian.PutUint16(out[0:2], magic)
+	out[2] = byte(t)
+	binary.BigEndian.PutUint16(out[3:5], uint16(len(payload)))
+	copy(out[headerLen:], payload)
+	return out
+}
+
+// Unmarshal decodes one framed message, returning the decoded value
+// (FlowMod, PacketIn, or PortStatus) and the number of bytes consumed.
+func Unmarshal(b []byte) (interface{}, int, error) {
+	if len(b) < headerLen {
+		return nil, 0, fmt.Errorf("%w: short header", ErrBadMessage)
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != magic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrBadMessage)
+	}
+	t := MessageType(b[2])
+	n := int(binary.BigEndian.Uint16(b[3:5]))
+	if len(b) < headerLen+n {
+		return nil, 0, fmt.Errorf("%w: truncated payload", ErrBadMessage)
+	}
+	payload := b[headerLen : headerLen+n]
+	total := headerLen + n
+	switch t {
+	case TypeFlowMod:
+		if len(payload) < 5+matchLen+16+2 {
+			return nil, 0, fmt.Errorf("%w: short flow-mod", ErrBadMessage)
+		}
+		m := FlowMod{
+			Command:  FlowModCommand(payload[0]),
+			Priority: int32(binary.BigEndian.Uint32(payload[1:5])),
+			Match:    unmarshalMatch(payload[5:]),
+		}
+		off := 5 + matchLen
+		m.IdleTimeout = math.Float64frombits(binary.BigEndian.Uint64(payload[off:]))
+		m.HardTimeout = math.Float64frombits(binary.BigEndian.Uint64(payload[off+8:]))
+		if math.IsNaN(m.IdleTimeout) || math.IsNaN(m.HardTimeout) ||
+			m.IdleTimeout < 0 || m.HardTimeout < 0 {
+			return nil, 0, fmt.Errorf("%w: bad flow-mod timeouts", ErrBadMessage)
+		}
+		off += 16
+		m.Action.Kind = netsim.ActionKind(payload[off])
+		np := int(payload[off+1])
+		if len(payload) < off+2+np*4 {
+			return nil, 0, fmt.Errorf("%w: short flow-mod ports", ErrBadMessage)
+		}
+		for i := 0; i < np; i++ {
+			m.Action.Ports = append(m.Action.Ports,
+				int(binary.BigEndian.Uint32(payload[off+2+i*4:])))
+		}
+		return m, total, nil
+	case TypePacketIn:
+		if len(payload) < 1 {
+			return nil, 0, fmt.Errorf("%w: short packet-in", ErrBadMessage)
+		}
+		nameLen := int(payload[0])
+		if len(payload) < 1+nameLen+4+matchLen+4 {
+			return nil, 0, fmt.Errorf("%w: short packet-in", ErrBadMessage)
+		}
+		p := PacketIn{Switch: string(payload[1 : 1+nameLen])}
+		off := 1 + nameLen
+		p.InPort = int32(binary.BigEndian.Uint32(payload[off:]))
+		off += 4
+		m := unmarshalMatch(payload[off:])
+		p.Flow = netsim.FiveTuple{Src: m.Src, Dst: m.Dst, SrcPort: m.SrcPort, DstPort: m.DstPort, Proto: m.Proto}
+		off += matchLen
+		p.Size = int32(binary.BigEndian.Uint32(payload[off:]))
+		return p, total, nil
+	case TypePortStatus:
+		if len(payload) < 1 {
+			return nil, 0, fmt.Errorf("%w: short port-status", ErrBadMessage)
+		}
+		nameLen := int(payload[0])
+		if len(payload) < 1+nameLen+5 {
+			return nil, 0, fmt.Errorf("%w: short port-status", ErrBadMessage)
+		}
+		p := PortStatus{Switch: string(payload[1 : 1+nameLen])}
+		off := 1 + nameLen
+		p.Port = int32(binary.BigEndian.Uint32(payload[off:]))
+		p.Up = payload[off+4] == 1
+		return p, total, nil
+	default:
+		return nil, 0, fmt.Errorf("%w: unknown type %d", ErrBadMessage, t)
+	}
+}

@@ -1,0 +1,217 @@
+package openflow
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"mdn/internal/netsim"
+)
+
+func sampleMatch() netsim.Match {
+	return netsim.Match{
+		InPort:  3,
+		Src:     netsim.MustAddr("10.0.0.1"),
+		Dst:     netsim.MustAddr("10.0.0.2"),
+		SrcPort: 1000,
+		DstPort: 80,
+		Proto:   netsim.ProtoTCP,
+	}
+}
+
+func TestFlowModRoundTrip(t *testing.T) {
+	in := FlowMod{
+		Command:  FlowAdd,
+		Priority: 42,
+		Match:    sampleMatch(),
+		Action:   netsim.Split(2, 3, 7),
+	}
+	wire := MarshalFlowMod(in)
+	out, n, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wire) {
+		t.Errorf("consumed %d of %d", n, len(wire))
+	}
+	got, ok := out.(FlowMod)
+	if !ok {
+		t.Fatalf("decoded %T", out)
+	}
+	if got.Command != in.Command || got.Priority != in.Priority || got.Match != in.Match {
+		t.Errorf("got %+v, want %+v", got, in)
+	}
+	if got.Action.Kind != in.Action.Kind || len(got.Action.Ports) != 3 || got.Action.Ports[2] != 7 {
+		t.Errorf("action = %+v", got.Action)
+	}
+}
+
+func TestFlowModWildcardsRoundTrip(t *testing.T) {
+	in := FlowMod{Command: FlowDelete, Priority: 1, Action: netsim.Drop()}
+	out, _, err := Unmarshal(MarshalFlowMod(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(FlowMod)
+	if got.Match != (netsim.Match{}) {
+		t.Errorf("wildcard match corrupted: %+v", got.Match)
+	}
+	if got.Match.Src.IsValid() {
+		t.Error("zero address should stay invalid (wildcard)")
+	}
+}
+
+func TestPacketInRoundTrip(t *testing.T) {
+	in := PacketIn{
+		Switch: "zodiac-3",
+		InPort: 2,
+		Flow: netsim.FiveTuple{
+			Src: netsim.MustAddr("10.0.0.9"), Dst: netsim.MustAddr("10.0.0.1"),
+			SrcPort: 5555, DstPort: 22, Proto: netsim.ProtoTCP,
+		},
+		Size: 1500,
+	}
+	out, _, err := Unmarshal(MarshalPacketIn(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(PacketIn)
+	if got != in {
+		t.Errorf("got %+v, want %+v", got, in)
+	}
+}
+
+func TestPortStatusRoundTrip(t *testing.T) {
+	for _, up := range []bool{true, false} {
+		in := PortStatus{Switch: "s1", Port: 4, Up: up}
+		out, _, err := Unmarshal(MarshalPortStatus(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.(PortStatus) != in {
+			t.Errorf("got %+v, want %+v", out, in)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2},
+		{0, 0, 1, 0, 0},             // bad magic
+		{0x0F, 0x4D, 99, 0, 0},      // unknown type
+		{0x0F, 0x4D, 1, 0xFF, 0xFF}, // truncated payload
+		{0x0F, 0x4D, 1, 0, 1, 0},    // short flow-mod
+	}
+	for i, b := range cases {
+		if _, _, err := Unmarshal(b); !errors.Is(err, ErrBadMessage) {
+			t.Errorf("case %d: err = %v, want ErrBadMessage", i, err)
+		}
+	}
+}
+
+func TestFlowModPriorityRoundTripProperty(t *testing.T) {
+	f := func(prio int32, dstPort uint16, proto uint8) bool {
+		in := FlowMod{
+			Command:  FlowAdd,
+			Priority: prio,
+			Match:    netsim.Match{DstPort: dstPort, Proto: proto},
+			Action:   netsim.Output(int(dstPort) % 8),
+		}
+		out, _, err := Unmarshal(MarshalFlowMod(in))
+		if err != nil {
+			return false
+		}
+		got := out.(FlowMod)
+		return got.Priority == prio && got.Match.DstPort == dstPort && got.Match.Proto == proto
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowModApply(t *testing.T) {
+	sim := netsim.NewSim()
+	sw := netsim.NewSwitch(sim, "s1")
+	add := FlowMod{Command: FlowAdd, Priority: 7, Match: netsim.Match{DstPort: 80}, Action: netsim.Output(2)}
+	rule := add.Apply(sw)
+	if rule == nil || len(sw.Rules()) != 1 {
+		t.Fatal("rule not installed")
+	}
+	del := FlowMod{Command: FlowDelete, Match: netsim.Match{DstPort: 80}}
+	if del.Apply(sw) != nil {
+		t.Error("delete should return nil")
+	}
+	if len(sw.Rules()) != 0 {
+		t.Error("rule not removed")
+	}
+}
+
+func TestChannelLatencyAndDelivery(t *testing.T) {
+	sim := netsim.NewSim()
+	sw := netsim.NewSwitch(sim, "s1")
+	ch := NewChannel(sim, sw, 0.05)
+	err := ch.SendFlowMod(FlowMod{Command: FlowAdd, Priority: 1, Action: netsim.Drop()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(0.04)
+	if len(sw.Rules()) != 0 {
+		t.Error("rule applied before control latency")
+	}
+	sim.RunUntil(0.06)
+	if len(sw.Rules()) != 1 {
+		t.Error("rule not applied after control latency")
+	}
+	if ch.SentFlowMods != 1 || ch.Switch() != sw {
+		t.Error("channel bookkeeping wrong")
+	}
+}
+
+func TestMessageTypeString(t *testing.T) {
+	names := map[MessageType]string{
+		TypeFlowMod: "flow-mod", TypePacketIn: "packet-in",
+		TypePortStatus: "port-status", MessageType(9): "unknown",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestFlowModTimeoutsRoundTrip(t *testing.T) {
+	in := FlowMod{
+		Command: FlowAdd, Priority: 3,
+		Match:       netsim.Match{DstPort: 22},
+		Action:      netsim.Output(1),
+		IdleTimeout: 2.5,
+		HardTimeout: 30,
+	}
+	out, _, err := Unmarshal(MarshalFlowMod(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(FlowMod)
+	if got.IdleTimeout != 2.5 || got.HardTimeout != 30 {
+		t.Errorf("timeouts = %g/%g", got.IdleTimeout, got.HardTimeout)
+	}
+	// Apply carries them to the rule: idle-out after 2.5 s of silence.
+	sim := netsim.NewSim()
+	sw := netsim.NewSwitch(sim, "s1")
+	rule := got.Apply(sw)
+	if rule.IdleTimeout != 2.5 || rule.HardTimeout != 30 {
+		t.Error("timeouts lost in Apply")
+	}
+	sim.RunUntil(3)
+	if len(sw.Rules()) != 0 {
+		t.Error("rule should have idled out")
+	}
+}
+
+func TestFlowModRejectsNegativeTimeouts(t *testing.T) {
+	wire := MarshalFlowMod(FlowMod{Command: FlowAdd, IdleTimeout: -1})
+	if _, _, err := Unmarshal(wire); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("negative timeout accepted: %v", err)
+	}
+}

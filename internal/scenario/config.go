@@ -1,0 +1,269 @@
+// Package scenario runs Music-Defined Networking deployments
+// described declaratively in JSON: an acoustic room, a switch/host
+// topology, MDN applications, traffic, and background noise. It is
+// the adoption surface of the library — cmd/mdnsim feeds it a file
+// and prints the resulting report.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+)
+
+// Config is the root of a scenario description.
+type Config struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name"`
+	// Seed drives every stochastic component.
+	Seed int64 `json:"seed"`
+	// DurationS is the simulated run length in seconds.
+	DurationS float64 `json:"duration_s"`
+
+	// Switches to create. Every switch gets a speaker at its
+	// position and speaks the Music Protocol.
+	Switches []SwitchConfig `json:"switches"`
+	// Hosts to create, each attached to one switch.
+	Hosts []HostConfig `json:"hosts"`
+	// Links are extra switch-to-switch connections.
+	Links []LinkConfig `json:"links,omitempty"`
+	// Rules pre-populate flow tables.
+	Rules []RuleConfig `json:"rules,omitempty"`
+	// Apps are the MDN applications to deploy.
+	Apps []AppConfig `json:"apps"`
+	// Traffic generators to run.
+	Traffic []TrafficConfig `json:"traffic,omitempty"`
+	// Noise sources in the room.
+	Noise []NoiseConfig `json:"noise,omitempty"`
+	// MinAmplitude overrides the controller's detection floor
+	// (linear tone amplitude at the microphone). Deployments with
+	// loud ambience calibrate this above the background's tonal
+	// components and below the switch tones; 0 keeps the default.
+	MinAmplitude float64 `json:"min_amplitude,omitempty"`
+}
+
+// SwitchConfig places one switch (and its speaker) in the room.
+type SwitchConfig struct {
+	Name string  `json:"name"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+}
+
+// HostConfig attaches a host to a switch port.
+type HostConfig struct {
+	Name   string `json:"name"`
+	Addr   string `json:"addr"`
+	Switch string `json:"switch"`
+	Port   int    `json:"port"`
+	// Link parameters (defaults: 1000 Mbps, 0.1 ms, unbounded).
+	RateMbps  float64 `json:"rate_mbps,omitempty"`
+	LatencyMs float64 `json:"latency_ms,omitempty"`
+	Queue     int     `json:"queue,omitempty"`
+}
+
+// LinkConfig joins two switches.
+type LinkConfig struct {
+	A         string  `json:"a"`
+	APort     int     `json:"a_port"`
+	B         string  `json:"b"`
+	BPort     int     `json:"b_port"`
+	RateMbps  float64 `json:"rate_mbps,omitempty"`
+	LatencyMs float64 `json:"latency_ms,omitempty"`
+	Queue     int     `json:"queue,omitempty"`
+}
+
+// RuleConfig pre-installs a flow rule.
+type RuleConfig struct {
+	Switch   string `json:"switch"`
+	Priority int    `json:"priority"`
+	Dst      string `json:"dst,omitempty"`
+	DstPort  uint16 `json:"dst_port,omitempty"`
+	// Action: output, drop, split, hashsplit.
+	Action string `json:"action"`
+	Ports  []int  `json:"ports,omitempty"`
+}
+
+// AppConfig deploys one MDN application on a switch.
+type AppConfig struct {
+	// Type: heavyhitter, portscan, queuemon, heartbeat, ddos,
+	// superspreader.
+	Type   string `json:"type"`
+	Switch string `json:"switch"`
+
+	// heavyhitter, ddos, superspreader.
+	Buckets   int `json:"buckets,omitempty"`
+	Threshold int `json:"threshold,omitempty"`
+	// portscan.
+	FirstPort uint16 `json:"first_port,omitempty"`
+	NumPorts  int    `json:"num_ports,omitempty"`
+	// queuemon.
+	Port int `json:"port,omitempty"`
+	// heartbeat.
+	PeriodS float64 `json:"period_s,omitempty"`
+	// ddos (the protected host) / superspreader (the suspect host):
+	// the address under watch.
+	Watch string `json:"watch,omitempty"`
+}
+
+// TrafficConfig runs one generator.
+type TrafficConfig struct {
+	// Type: cbr, poisson, ramp, portscan.
+	Type    string  `json:"type"`
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	SrcPort uint16  `json:"src_port,omitempty"`
+	DstPort uint16  `json:"dst_port,omitempty"`
+	PPS     float64 `json:"pps,omitempty"`
+	EndPPS  float64 `json:"end_pps,omitempty"` // ramp
+	Size    int     `json:"size,omitempty"`
+	StartS  float64 `json:"start_s"`
+	StopS   float64 `json:"stop_s"`
+	// portscan.
+	FirstPort  uint16  `json:"first_port,omitempty"`
+	NumPorts   int     `json:"num_ports,omitempty"`
+	IntervalMs float64 `json:"interval_ms,omitempty"`
+}
+
+// NoiseConfig adds a background source.
+type NoiseConfig struct {
+	// Type: song, datacenter, office.
+	Type  string  `json:"type"`
+	Level float64 `json:"level,omitempty"` // song peak amplitude
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+}
+
+// Load parses a scenario from JSON and validates it.
+func Load(r io.Reader) (*Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("scenario: parsing config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Validate checks referential integrity and parameter sanity.
+func (c *Config) Validate() error {
+	if c.DurationS <= 0 {
+		return fmt.Errorf("scenario: duration_s must be positive")
+	}
+	if c.MinAmplitude < 0 {
+		return fmt.Errorf("scenario: min_amplitude must be non-negative")
+	}
+	if len(c.Switches) == 0 {
+		return fmt.Errorf("scenario: at least one switch required")
+	}
+	switches := map[string]bool{}
+	for _, s := range c.Switches {
+		if s.Name == "" {
+			return fmt.Errorf("scenario: switch with empty name")
+		}
+		if switches[s.Name] {
+			return fmt.Errorf("scenario: duplicate switch %q", s.Name)
+		}
+		switches[s.Name] = true
+	}
+	hosts := map[string]bool{}
+	for _, h := range c.Hosts {
+		if h.Name == "" {
+			return fmt.Errorf("scenario: host with empty name")
+		}
+		if hosts[h.Name] {
+			return fmt.Errorf("scenario: duplicate host %q", h.Name)
+		}
+		hosts[h.Name] = true
+		if !switches[h.Switch] {
+			return fmt.Errorf("scenario: host %q references unknown switch %q", h.Name, h.Switch)
+		}
+		if _, err := netip.ParseAddr(h.Addr); err != nil {
+			return fmt.Errorf("scenario: host %q address: %w", h.Name, err)
+		}
+	}
+	for _, l := range c.Links {
+		if !switches[l.A] || !switches[l.B] {
+			return fmt.Errorf("scenario: link %s<->%s references unknown switch", l.A, l.B)
+		}
+	}
+	for _, r := range c.Rules {
+		if !switches[r.Switch] {
+			return fmt.Errorf("scenario: rule references unknown switch %q", r.Switch)
+		}
+		switch r.Action {
+		case "output", "split", "hashsplit":
+			if len(r.Ports) == 0 {
+				return fmt.Errorf("scenario: rule on %q action %q needs ports", r.Switch, r.Action)
+			}
+		case "drop":
+		default:
+			return fmt.Errorf("scenario: unknown rule action %q", r.Action)
+		}
+	}
+	for i, a := range c.Apps {
+		if !switches[a.Switch] {
+			return fmt.Errorf("scenario: app %d references unknown switch %q", i, a.Switch)
+		}
+		switch a.Type {
+		case "heavyhitter":
+			if a.Buckets <= 0 {
+				return fmt.Errorf("scenario: heavyhitter on %q needs buckets", a.Switch)
+			}
+		case "portscan":
+			if a.NumPorts <= 0 {
+				return fmt.Errorf("scenario: portscan on %q needs num_ports", a.Switch)
+			}
+		case "queuemon":
+			if a.Port <= 0 {
+				return fmt.Errorf("scenario: queuemon on %q needs port", a.Switch)
+			}
+		case "heartbeat":
+		case "ddos", "superspreader":
+			if a.Buckets <= 0 {
+				return fmt.Errorf("scenario: %s on %q needs buckets", a.Type, a.Switch)
+			}
+			if _, err := netip.ParseAddr(a.Watch); err != nil {
+				return fmt.Errorf("scenario: %s on %q needs a valid watch address: %w", a.Type, a.Switch, err)
+			}
+		default:
+			return fmt.Errorf("scenario: unknown app type %q", a.Type)
+		}
+	}
+	for i, tr := range c.Traffic {
+		if !hosts[tr.From] {
+			return fmt.Errorf("scenario: traffic %d from unknown host %q", i, tr.From)
+		}
+		if !hosts[tr.To] {
+			return fmt.Errorf("scenario: traffic %d to unknown host %q", i, tr.To)
+		}
+		switch tr.Type {
+		case "cbr", "poisson", "ramp":
+			if tr.PPS <= 0 {
+				return fmt.Errorf("scenario: traffic %d needs pps", i)
+			}
+			if tr.StopS <= tr.StartS {
+				return fmt.Errorf("scenario: traffic %d has stop <= start", i)
+			}
+		case "portscan":
+			// A scan's end is first_port + num_ports probes; stop_s
+			// is not used.
+			if tr.NumPorts <= 0 {
+				return fmt.Errorf("scenario: traffic %d needs num_ports", i)
+			}
+		default:
+			return fmt.Errorf("scenario: unknown traffic type %q", tr.Type)
+		}
+	}
+	for i, n := range c.Noise {
+		switch n.Type {
+		case "song", "datacenter", "office":
+		default:
+			return fmt.Errorf("scenario: unknown noise type %q (entry %d)", n.Type, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"mdn/internal/acoustic"
+	"mdn/internal/core"
+	"mdn/internal/mp"
+	"mdn/internal/netsim"
+)
+
+// Report is what a scenario run produces.
+type Report struct {
+	// Name echoes the scenario name.
+	Name string `json:"name"`
+	// DurationS is the simulated time covered.
+	DurationS float64 `json:"duration_s"`
+	// WindowsAnalysed counts controller capture windows.
+	WindowsAnalysed uint64 `json:"windows_analysed"`
+	// TonesDetected counts raw per-window detections.
+	TonesDetected uint64 `json:"tones_detected"`
+	// Hosts summarises per-host traffic counters.
+	Hosts []HostReport `json:"hosts"`
+	// Apps summarises per-application outcomes.
+	Apps []AppReport `json:"apps"`
+}
+
+// HostReport is one host's counters.
+type HostReport struct {
+	Name      string `json:"name"`
+	TxPackets uint64 `json:"tx_packets"`
+	RxPackets uint64 `json:"rx_packets"`
+	TxBytes   uint64 `json:"tx_bytes"`
+	RxBytes   uint64 `json:"rx_bytes"`
+}
+
+// AppReport is one application's outcome.
+type AppReport struct {
+	Type   string `json:"type"`
+	Switch string `json:"switch"`
+	// Events is app-specific: heavy-hitter reports, scan alerts,
+	// decoded queue levels, heartbeat alerts.
+	Events []string `json:"events"`
+}
+
+// Run executes the scenario and returns its report.
+func Run(c *Config) (*Report, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	sim := netsim.NewSim()
+	room := acoustic.NewRoom(44100, c.Seed)
+	mic := room.AddMicrophone("controller", acoustic.Position{}, 0.0005)
+	plan := core.DefaultPlan()
+
+	// Switches with voices.
+	sws := make(map[string]*netsim.Switch, len(c.Switches))
+	voices := make(map[string]*core.Voice, len(c.Switches))
+	for _, sc := range c.Switches {
+		sw := netsim.NewSwitch(sim, sc.Name)
+		sp := room.AddSpeaker(sc.Name, acoustic.Position{X: sc.X, Y: sc.Y})
+		voices[sc.Name] = core.NewVoice(sim, mp.NewSounder(mp.NewPi(sim, sp, 0.002)))
+		sws[sc.Name] = sw
+	}
+
+	// Hosts.
+	hostsByName := make(map[string]*netsim.Host, len(c.Hosts))
+	for _, hc := range c.Hosts {
+		h := netsim.NewHost(sim, hc.Name, netsim.MustAddr(hc.Addr))
+		rate := hc.RateMbps
+		if rate <= 0 {
+			rate = 1000
+		}
+		lat := hc.LatencyMs
+		if lat <= 0 {
+			lat = 0.1
+		}
+		netsim.Connect(sim, h, 1, sws[hc.Switch], hc.Port, rate*1e6, lat/1000, hc.Queue)
+		hostsByName[hc.Name] = h
+	}
+	// Switch-switch links.
+	for _, lc := range c.Links {
+		rate := lc.RateMbps
+		if rate <= 0 {
+			rate = 1000
+		}
+		lat := lc.LatencyMs
+		if lat <= 0 {
+			lat = 0.1
+		}
+		netsim.Connect(sim, sws[lc.A], lc.APort, sws[lc.B], lc.BPort, rate*1e6, lat/1000, lc.Queue)
+	}
+	// Rules.
+	for _, rc := range c.Rules {
+		rule := netsim.Rule{Priority: rc.Priority}
+		if rc.Dst != "" {
+			rule.Match.Dst = netsim.MustAddr(rc.Dst)
+		}
+		rule.Match.DstPort = rc.DstPort
+		switch rc.Action {
+		case "output":
+			rule.Action = netsim.Output(rc.Ports[0])
+		case "drop":
+			rule.Action = netsim.Drop()
+		case "split":
+			rule.Action = netsim.Split(rc.Ports...)
+		case "hashsplit":
+			rule.Action = netsim.HashSplit(rc.Ports...)
+		}
+		sws[rc.Switch].InstallRule(rule)
+	}
+
+	// Applications, via the manager.
+	mgr := core.NewManager(sim, mic, plan)
+	type deployed struct {
+		cfg AppConfig
+		app interface{}
+	}
+	var apps []deployed
+	taps := make(map[string][]func(*netsim.Packet, int))
+	hb := core.NewHeartbeat()
+	hbUsed := false
+	for _, ac := range c.Apps {
+		voice := voices[ac.Switch]
+		switch ac.Type {
+		case "heavyhitter":
+			hh, err := core.NewHeavyHitter(plan, ac.Switch, voice, ac.Buckets)
+			if err != nil {
+				return nil, err
+			}
+			if ac.Threshold > 0 {
+				hh.Threshold = ac.Threshold
+			}
+			if err := mgr.Deploy(hh); err != nil {
+				return nil, err
+			}
+			taps[ac.Switch] = append(taps[ac.Switch], hh.Tap)
+			apps = append(apps, deployed{ac, hh})
+		case "portscan":
+			ps, err := core.NewPortScan(plan, ac.Switch, voice, ac.FirstPort, ac.NumPorts)
+			if err != nil {
+				return nil, err
+			}
+			if ac.Threshold > 0 {
+				ps.Threshold = ac.Threshold
+			}
+			if err := mgr.Deploy(ps); err != nil {
+				return nil, err
+			}
+			taps[ac.Switch] = append(taps[ac.Switch], ps.Tap)
+			apps = append(apps, deployed{ac, ps})
+		case "queuemon":
+			qm, err := core.NewQueueMonitor(plan, sws[ac.Switch], ac.Port, voice)
+			if err != nil {
+				return nil, err
+			}
+			if err := mgr.Deploy(qm); err != nil {
+				return nil, err
+			}
+			qm.StartSwitchSide(sim, 0.05)
+			apps = append(apps, deployed{ac, qm})
+		case "ddos", "superspreader":
+			mode := core.ModeDDoSVictim
+			if ac.Type == "superspreader" {
+				mode = core.ModeSuperspreader
+			}
+			k := ac.Threshold
+			if k <= 0 {
+				k = 5
+			}
+			sd, err := core.NewSpreadDetector(plan, ac.Switch+"/"+ac.Type, voice, mode,
+				netsim.MustAddr(ac.Watch), ac.Buckets, k)
+			if err != nil {
+				return nil, err
+			}
+			if err := mgr.Deploy(sd); err != nil {
+				return nil, err
+			}
+			taps[ac.Switch] = append(taps[ac.Switch], sd.Tap)
+			apps = append(apps, deployed{ac, sd})
+		case "heartbeat":
+			f, err := hb.Register(plan, ac.Switch, voice)
+			if err != nil {
+				return nil, err
+			}
+			if ac.PeriodS > 0 {
+				hb.Period = ac.PeriodS
+			}
+			if _, err := hb.StartDevice(sim, f, 0.1); err != nil {
+				return nil, err
+			}
+			hbUsed = true
+		}
+	}
+	if hbUsed {
+		if err := mgr.Deploy(hb); err != nil {
+			return nil, err
+		}
+		apps = append(apps, deployed{AppConfig{Type: "heartbeat", Switch: "*"}, hb})
+	}
+	for name, fns := range taps {
+		fns := fns
+		sws[name].Tap = func(p *netsim.Packet, in int) {
+			for _, fn := range fns {
+				fn(p, in)
+			}
+		}
+	}
+	if c.MinAmplitude > 0 {
+		mgr.Ctrl.Detector.MinAmplitude = c.MinAmplitude
+	}
+	mgr.Start(0)
+
+	// Traffic.
+	for _, tc := range c.Traffic {
+		from := hostsByName[tc.From]
+		to := hostsByName[tc.To]
+		flow := netsim.FiveTuple{
+			Src: from.Addr, Dst: to.Addr,
+			SrcPort: tc.SrcPort, DstPort: tc.DstPort, Proto: netsim.ProtoTCP,
+		}
+		size := tc.Size
+		if size <= 0 {
+			size = netsim.DefaultPacketSize
+		}
+		switch tc.Type {
+		case "cbr":
+			netsim.StartCBR(sim, from, flow, tc.PPS, size, tc.StartS, tc.StopS)
+		case "poisson":
+			netsim.StartPoisson(sim, from, flow, tc.PPS, size, tc.StartS, tc.StopS, c.Seed+int64(tc.SrcPort))
+		case "ramp":
+			end := tc.EndPPS
+			if end <= 0 {
+				end = tc.PPS * 10
+			}
+			netsim.StartRamp(sim, from, flow, tc.PPS, end, size, tc.StartS, tc.StopS)
+		case "portscan":
+			interval := tc.IntervalMs / 1000
+			if interval <= 0 {
+				interval = 0.2
+			}
+			netsim.StartPortScan(sim, from, flow, tc.FirstPort, tc.NumPorts, interval, tc.StartS)
+		}
+	}
+
+	// Noise.
+	for i, nc := range c.Noise {
+		var src *acoustic.NoiseSource
+		switch nc.Type {
+		case "song":
+			level := nc.Level
+			if level <= 0 {
+				level = 0.02
+			}
+			src = core.PopSongNoise(44100, 5, level, c.Seed+int64(i))
+		case "datacenter":
+			src = core.DatacenterNoise(44100, 3, c.Seed+int64(i))
+		case "office":
+			src = core.OfficeNoise(44100, 3, c.Seed+int64(i))
+		}
+		src.Pos = acoustic.Position{X: nc.X, Y: nc.Y}
+		room.AddNoise(src)
+	}
+
+	sim.RunUntil(c.DurationS)
+
+	// Build the report.
+	rep := &Report{Name: c.Name, DurationS: c.DurationS}
+	rep.WindowsAnalysed = mgr.Ctrl.Windows
+	rep.TonesDetected = mgr.Ctrl.Detections
+	var hostNames []string
+	for name := range hostsByName {
+		hostNames = append(hostNames, name)
+	}
+	sort.Strings(hostNames)
+	for _, name := range hostNames {
+		h := hostsByName[name]
+		rep.Hosts = append(rep.Hosts, HostReport{
+			Name: name, TxPackets: h.TxPackets, RxPackets: h.RxPackets,
+			TxBytes: h.TxBytes, RxBytes: h.RxBytes,
+		})
+	}
+	for _, d := range apps {
+		ar := AppReport{Type: d.cfg.Type, Switch: d.cfg.Switch}
+		switch app := d.app.(type) {
+		case *core.HeavyHitter:
+			for _, r := range app.Reports {
+				ar.Events = append(ar.Events, fmt.Sprintf(
+					"t=%.1fs heavy hitter: bucket %d (%d tone onsets)", r.Time, r.Bucket, r.Count))
+			}
+		case *core.PortScan:
+			for _, a := range app.Alerts {
+				ar.Events = append(ar.Events, fmt.Sprintf(
+					"t=%.1fs port scan: %d distinct ports", a.Time, a.DistinctPorts))
+			}
+		case *core.QueueMonitor:
+			for _, l := range app.HeardLevels() {
+				ar.Events = append(ar.Events, core.LevelName(l))
+			}
+		case *core.Heartbeat:
+			for _, a := range app.Alerts {
+				ar.Events = append(ar.Events, fmt.Sprintf(
+					"t=%.1fs device %s silent (%d missed beats)", a.Time, a.Device, a.MissedBeats))
+			}
+		case *core.SpreadDetector:
+			for _, a := range app.Alerts {
+				ar.Events = append(ar.Events, fmt.Sprintf(
+					"t=%.1fs %s alert: %d distinct counterpart buckets (k=%d)",
+					a.Time, app.Mode, a.Distinct, app.K))
+			}
+		}
+		rep.Apps = append(rep.Apps, ar)
+	}
+	return rep, nil
+}

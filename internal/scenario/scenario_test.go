@@ -1,0 +1,264 @@
+package scenario
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const demoScenario = `{
+  "name": "demo",
+  "seed": 7,
+  "duration_s": 6,
+  "switches": [{"name": "s1", "x": 1.2, "y": 0}],
+  "hosts": [
+    {"name": "h1", "addr": "10.0.0.1", "switch": "s1", "port": 1},
+    {"name": "h2", "addr": "10.0.0.2", "switch": "s1", "port": 2}
+  ],
+  "rules": [
+    {"switch": "s1", "priority": 1, "dst": "10.0.0.2", "action": "output", "ports": [2]}
+  ],
+  "apps": [
+    {"type": "heavyhitter", "switch": "s1", "buckets": 12},
+    {"type": "portscan", "switch": "s1", "first_port": 8000, "num_ports": 12, "threshold": 8},
+    {"type": "heartbeat", "switch": "s1"}
+  ],
+  "traffic": [
+    {"type": "cbr", "from": "h1", "to": "h2", "src_port": 5000, "dst_port": 80,
+     "pps": 250, "size": 1500, "start_s": 0.2, "stop_s": 6},
+    {"type": "portscan", "from": "h1", "to": "h2", "src_port": 4444,
+     "first_port": 8000, "num_ports": 12, "interval_ms": 250, "start_s": 1}
+  ],
+  "noise": [{"type": "song", "level": 0.01, "x": -2, "y": 1}]
+}`
+
+func TestLoadAndRunDemo(t *testing.T) {
+	cfg, err := Load(strings.NewReader(demoScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "demo" || rep.DurationS != 6 {
+		t.Errorf("report header: %+v", rep)
+	}
+	if rep.WindowsAnalysed < 100 {
+		t.Errorf("windows = %d", rep.WindowsAnalysed)
+	}
+	if rep.TonesDetected == 0 {
+		t.Error("no tones detected")
+	}
+	if len(rep.Hosts) != 2 || rep.Hosts[1].RxPackets == 0 {
+		t.Errorf("host reports: %+v", rep.Hosts)
+	}
+	byType := map[string]AppReport{}
+	for _, a := range rep.Apps {
+		byType[a.Type] = a
+	}
+	if len(byType["heavyhitter"].Events) == 0 {
+		t.Errorf("heavy hitter saw nothing: %+v", byType["heavyhitter"])
+	}
+	if len(byType["portscan"].Events) == 0 {
+		t.Errorf("port scan saw nothing: %+v", byType["portscan"])
+	}
+	if len(byType["heartbeat"].Events) != 0 {
+		t.Errorf("live heartbeat raised alerts: %+v", byType["heartbeat"])
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() *Report {
+		cfg, err := Load(strings.NewReader(demoScenario))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.TonesDetected != b.TonesDetected || a.WindowsAnalysed != b.WindowsAnalysed {
+		t.Errorf("non-deterministic: %d/%d vs %d/%d",
+			a.TonesDetected, a.WindowsAnalysed, b.TonesDetected, b.WindowsAnalysed)
+	}
+	if len(a.Apps) != len(b.Apps) {
+		t.Fatal("app report count differs")
+	}
+	for i := range a.Apps {
+		if len(a.Apps[i].Events) != len(b.Apps[i].Events) {
+			t.Errorf("app %d events differ: %d vs %d",
+				i, len(a.Apps[i].Events), len(b.Apps[i].Events))
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad json":         `{`,
+		"unknown field":    `{"duration_s": 1, "switches": [{"name":"s"}], "bogus": 1}`,
+		"no duration":      `{"switches": [{"name":"s"}]}`,
+		"no switches":      `{"duration_s": 1}`,
+		"dup switch":       `{"duration_s":1,"switches":[{"name":"s"},{"name":"s"}]}`,
+		"empty switch":     `{"duration_s":1,"switches":[{"name":""}]}`,
+		"host bad switch":  `{"duration_s":1,"switches":[{"name":"s"}],"hosts":[{"name":"h","addr":"10.0.0.1","switch":"x","port":1}]}`,
+		"host bad addr":    `{"duration_s":1,"switches":[{"name":"s"}],"hosts":[{"name":"h","addr":"nope","switch":"s","port":1}]}`,
+		"dup host":         `{"duration_s":1,"switches":[{"name":"s"}],"hosts":[{"name":"h","addr":"10.0.0.1","switch":"s","port":1},{"name":"h","addr":"10.0.0.2","switch":"s","port":2}]}`,
+		"empty host":       `{"duration_s":1,"switches":[{"name":"s"}],"hosts":[{"name":"","addr":"10.0.0.1","switch":"s","port":1}]}`,
+		"bad link":         `{"duration_s":1,"switches":[{"name":"s"}],"links":[{"a":"s","a_port":1,"b":"x","b_port":1}]}`,
+		"bad rule action":  `{"duration_s":1,"switches":[{"name":"s"}],"rules":[{"switch":"s","action":"teleport"}]}`,
+		"rule no ports":    `{"duration_s":1,"switches":[{"name":"s"}],"rules":[{"switch":"s","action":"output"}]}`,
+		"rule bad switch":  `{"duration_s":1,"switches":[{"name":"s"}],"rules":[{"switch":"x","action":"drop"}]}`,
+		"bad app type":     `{"duration_s":1,"switches":[{"name":"s"}],"apps":[{"type":"magic","switch":"s"}]}`,
+		"app bad switch":   `{"duration_s":1,"switches":[{"name":"s"}],"apps":[{"type":"heartbeat","switch":"x"}]}`,
+		"hh no buckets":    `{"duration_s":1,"switches":[{"name":"s"}],"apps":[{"type":"heavyhitter","switch":"s"}]}`,
+		"scan no ports":    `{"duration_s":1,"switches":[{"name":"s"}],"apps":[{"type":"portscan","switch":"s"}]}`,
+		"qm no port":       `{"duration_s":1,"switches":[{"name":"s"}],"apps":[{"type":"queuemon","switch":"s"}]}`,
+		"traffic unknown":  `{"duration_s":1,"switches":[{"name":"s"}],"hosts":[{"name":"h","addr":"10.0.0.1","switch":"s","port":1}],"traffic":[{"type":"warp","from":"h","to":"h","start_s":0,"stop_s":1}]}`,
+		"traffic bad host": `{"duration_s":1,"switches":[{"name":"s"}],"hosts":[{"name":"h","addr":"10.0.0.1","switch":"s","port":1}],"traffic":[{"type":"cbr","from":"x","to":"h","pps":1,"start_s":0,"stop_s":1}]}`,
+		"traffic bad time": `{"duration_s":1,"switches":[{"name":"s"}],"hosts":[{"name":"h","addr":"10.0.0.1","switch":"s","port":1}],"traffic":[{"type":"cbr","from":"h","to":"h","pps":1,"start_s":2,"stop_s":1}]}`,
+		"traffic no pps":   `{"duration_s":1,"switches":[{"name":"s"}],"hosts":[{"name":"h","addr":"10.0.0.1","switch":"s","port":1}],"traffic":[{"type":"cbr","from":"h","to":"h","start_s":0,"stop_s":1}]}`,
+		"bad noise":        `{"duration_s":1,"switches":[{"name":"s"}],"noise":[{"type":"thunder"}]}`,
+	}
+	for name, js := range cases {
+		if _, err := Load(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestQueueMonScenario(t *testing.T) {
+	js := `{
+	  "name": "qm", "seed": 3, "duration_s": 8,
+	  "switches": [{"name": "s1", "x": 1}],
+	  "hosts": [
+	    {"name": "h1", "addr": "10.0.0.1", "switch": "s1", "port": 1},
+	    {"name": "h2", "addr": "10.0.0.2", "switch": "s1", "port": 2,
+	     "rate_mbps": 1, "queue": 200}
+	  ],
+	  "rules": [{"switch":"s1","priority":1,"dst":"10.0.0.2","action":"output","ports":[2]}],
+	  "apps": [{"type": "queuemon", "switch": "s1", "port": 2}],
+	  "traffic": [{"type": "ramp", "from": "h1", "to": "h2", "src_port": 1,
+	    "dst_port": 2, "pps": 50, "end_pps": 300, "size": 1500,
+	    "start_s": 0.2, "stop_s": 4}]
+	}`
+	cfg, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qm AppReport
+	for _, a := range rep.Apps {
+		if a.Type == "queuemon" {
+			qm = a
+		}
+	}
+	joined := strings.Join(qm.Events, ",")
+	if !strings.Contains(joined, "high") || !strings.HasPrefix(joined, "low") {
+		t.Errorf("queue levels = %v", qm.Events)
+	}
+}
+
+func TestTwoSwitchScenarioWithNoise(t *testing.T) {
+	js := `{
+	  "name": "two-switch", "seed": 11, "duration_s": 5,
+	  "switches": [{"name": "s1", "x": 1}, {"name": "s2", "x": -1}],
+	  "hosts": [
+	    {"name": "h1", "addr": "10.0.0.1", "switch": "s1", "port": 1},
+	    {"name": "h2", "addr": "10.0.0.2", "switch": "s2", "port": 1, "latency_ms": 0.5}
+	  ],
+	  "links": [{"a": "s1", "a_port": 5, "b": "s2", "b_port": 5, "rate_mbps": 100}],
+	  "rules": [
+	    {"switch": "s1", "priority": 1, "dst": "10.0.0.2", "action": "output", "ports": [5]},
+	    {"switch": "s2", "priority": 1, "dst": "10.0.0.2", "action": "output", "ports": [1]},
+	    {"switch": "s2", "priority": 0, "action": "drop"},
+	    {"switch": "s1", "priority": 0, "dst_port": 9, "action": "hashsplit", "ports": [5]},
+	    {"switch": "s1", "priority": 0, "dst_port": 10, "action": "split", "ports": [5]}
+	  ],
+	  "apps": [
+	    {"type": "heavyhitter", "switch": "s1", "buckets": 8, "threshold": 4},
+	    {"type": "heartbeat", "switch": "s2", "period_s": 0.8}
+	  ],
+	  "traffic": [
+	    {"type": "cbr", "from": "h1", "to": "h2", "src_port": 7, "dst_port": 80,
+	     "pps": 200, "size": 1000, "start_s": 0.2, "stop_s": 5}
+	  ],
+	  "noise": [
+	    {"type": "office", "x": 0, "y": 3},
+	    {"type": "datacenter", "x": 5, "y": 5}
+	  ]
+	}`
+	cfg, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hosts[1].RxPackets == 0 {
+		t.Error("cross-switch traffic not delivered")
+	}
+	foundHH := false
+	for _, a := range rep.Apps {
+		if a.Type == "heavyhitter" && len(a.Events) > 0 {
+			foundHH = true
+		}
+		if a.Type == "heartbeat" && len(a.Events) != 0 {
+			t.Errorf("live heartbeat alerted: %v", a.Events)
+		}
+	}
+	if !foundHH {
+		t.Error("heavy hitter missed the elephant across noise")
+	}
+}
+
+func TestDDoSScenarioAlertsOnlyDuringFlood(t *testing.T) {
+	f, err := os.Open("../../scenarios/ddos.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cfg, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dd AppReport
+	for _, a := range rep.Apps {
+		if a.Type == "ddos" {
+			dd = a
+		}
+	}
+	if len(dd.Events) == 0 {
+		t.Fatal("flood raised no alerts")
+	}
+	// The flood starts at t=3; no alert may predate it.
+	for _, e := range dd.Events {
+		if strings.HasPrefix(e, "t=1.") || strings.HasPrefix(e, "t=2.") || strings.HasPrefix(e, "t=3.0") {
+			t.Errorf("alert before the flood: %s", e)
+		}
+	}
+}
+
+func TestValidateRejectsBadSpreadApp(t *testing.T) {
+	cases := map[string]string{
+		"ddos no buckets": `{"duration_s":1,"switches":[{"name":"s"}],"apps":[{"type":"ddos","switch":"s","watch":"10.0.0.1"}]}`,
+		"ddos bad watch":  `{"duration_s":1,"switches":[{"name":"s"}],"apps":[{"type":"ddos","switch":"s","buckets":8,"watch":"nope"}]}`,
+		"neg amplitude":   `{"duration_s":1,"switches":[{"name":"s"}],"min_amplitude":-1}`,
+	}
+	for name, js := range cases {
+		if _, err := Load(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package mdn
+
+import (
+	"net/netip"
+
+	"mdn/internal/acoustic"
+	"mdn/internal/core"
+	"mdn/internal/mp"
+	"mdn/internal/netsim"
+	"mdn/internal/openflow"
+)
+
+// Re-exported core types: the public API of the library.
+type (
+	// FrequencyPlan hands out non-overlapping tone sets to devices.
+	FrequencyPlan = core.FrequencyPlan
+	// Detector finds watched frequencies in capture windows.
+	Detector = core.Detector
+	// Detection is one observed tone.
+	Detection = core.Detection
+	// Method selects Goertzel or FFT analysis.
+	Method = core.Method
+	// OnsetFilter confirms tone onsets across windows.
+	OnsetFilter = core.OnsetFilter
+	// Controller is the MDN controller event loop.
+	Controller = core.Controller
+	// Voice is a switch's rate-limited tone emitter.
+	Voice = core.Voice
+	// FSM is the generic state machine of Section 4.
+	FSM = core.FSM
+	// PortKnock is the Section 4 authentication application.
+	PortKnock = core.PortKnock
+	// HeavyHitter is the Section 5 monitoring application.
+	HeavyHitter = core.HeavyHitter
+	// PortScan is the Section 5 security application.
+	PortScan = core.PortScan
+	// QueueMonitor is the Section 6 congestion monitor.
+	QueueMonitor = core.QueueMonitor
+	// LoadBalancer is the Section 6 traffic-engineering application.
+	LoadBalancer = core.LoadBalancer
+	// FanMonitor is the Section 7 passive failure detector.
+	FanMonitor = core.FanMonitor
+	// SpreadDetector is the Section 5 open problem: k-superspreader
+	// and DDoS-victim detection.
+	SpreadDetector = core.SpreadDetector
+	// SpreadMode selects superspreader or DDoS-victim semantics.
+	SpreadMode = core.SpreadMode
+	// Relay is the Section 8 multi-hop sound relay.
+	Relay = core.Relay
+	// CongestionController is tone-driven AIMD rate control.
+	CongestionController = core.CongestionController
+	// MelodyCodec encodes bytes as tone sequences.
+	MelodyCodec = core.MelodyCodec
+	// MicArray attributes detections across several microphones.
+	MicArray = core.MicArray
+	// ArrayDetection is a zone-attributed detection.
+	ArrayDetection = core.ArrayDetection
+	// Manager assembles a controller and a set of applications.
+	Manager = core.Manager
+	// App is the controller-side interface of an MDN application.
+	App = core.App
+	// FanDiagnosis classifies a monitored fan's state.
+	FanDiagnosis = core.FanDiagnosis
+	// FanState enumerates recognisable fan anomalies.
+	FanState = core.FanState
+	// Heartbeat is the out-of-band device liveness monitor.
+	Heartbeat = core.Heartbeat
+	// HeartbeatAlert reports a device gone silent.
+	HeartbeatAlert = core.HeartbeatAlert
+	// KnockGenerator derives time-rotating knock sequences from a
+	// shared secret (TOTP-style).
+	KnockGenerator = core.KnockGenerator
+)
+
+// Spread-detection modes.
+const (
+	// ModeSuperspreader flags a source contacting many destinations.
+	ModeSuperspreader = core.ModeSuperspreader
+	// ModeDDoSVictim flags a destination contacted by many sources.
+	ModeDDoSVictim = core.ModeDDoSVictim
+)
+
+// Detection methods.
+const (
+	// MethodGoertzel checks each watched frequency with a Goertzel
+	// filter.
+	MethodGoertzel = core.MethodGoertzel
+	// MethodFFT reads watched bins from one windowed FFT.
+	MethodFFT = core.MethodFFT
+)
+
+// Queue levels (Section 6 thresholds).
+const (
+	// LevelLow is an uncongested queue (<25 packets, 500 Hz).
+	LevelLow = core.LevelLow
+	// LevelMid is a filling queue (25–75 packets, 600 Hz).
+	LevelMid = core.LevelMid
+	// LevelHigh is a congested queue (>75 packets, 700 Hz).
+	LevelHigh = core.LevelHigh
+)
+
+// DefaultSpacing is the paper's ~20 Hz minimum frequency distance.
+const DefaultSpacing = core.DefaultSpacing
+
+// DefaultStride is the recommended slot stride for same-window tones.
+const DefaultStride = core.DefaultStride
+
+// NewFrequencyPlan creates a plan over [minHz, maxHz] with the given
+// slot spacing.
+func NewFrequencyPlan(minHz, maxHz, spacing float64) *FrequencyPlan {
+	return core.NewFrequencyPlan(minHz, maxHz, spacing)
+}
+
+// DefaultPlan returns the 400 Hz – 8 kHz plan at 20 Hz spacing.
+func DefaultPlan() *FrequencyPlan { return core.DefaultPlan() }
+
+// NewDetector builds a detector watching the given frequencies.
+func NewDetector(method Method, watch []float64) *Detector {
+	return core.NewDetector(method, watch)
+}
+
+// NewOnsetFilter returns a 2-window-confirmation onset filter.
+func NewOnsetFilter() *OnsetFilter { return core.NewOnsetFilter() }
+
+// SequenceFSM builds the linear machine accepting exactly the given
+// symbol sequence.
+func SequenceFSM(symbols []string) *FSM { return core.SequenceFSM(symbols) }
+
+// NewPortKnock builds the Section 4 port-knocking application.
+func NewPortKnock(plan *FrequencyPlan, switchName string, voice *Voice, ch *openflow.Channel, sequence []uint16, openRule openflow.FlowMod) (*PortKnock, error) {
+	return core.NewPortKnock(plan, switchName, voice, ch, sequence, openRule)
+}
+
+// NewHeavyHitter builds the Section 5 heavy-hitter detector with the
+// given number of hash buckets.
+func NewHeavyHitter(plan *FrequencyPlan, switchName string, voice *Voice, buckets int) (*HeavyHitter, error) {
+	return core.NewHeavyHitter(plan, switchName, voice, buckets)
+}
+
+// NewPortScan builds the Section 5 port-scan detector monitoring
+// numPorts destination ports starting at firstPort.
+func NewPortScan(plan *FrequencyPlan, switchName string, voice *Voice, firstPort uint16, numPorts int) (*PortScan, error) {
+	return core.NewPortScan(plan, switchName, voice, firstPort, numPorts)
+}
+
+// NewQueueMonitor builds the Section 6 queue monitor on a switch
+// output port, allocating its level tones from the plan.
+func NewQueueMonitor(plan *FrequencyPlan, sw *netsim.Switch, port int, voice *Voice) (*QueueMonitor, error) {
+	return core.NewQueueMonitor(plan, sw, port, voice)
+}
+
+// NewQueueMonitorWithTones builds a queue monitor with explicit level
+// tones, e.g. the paper's 500/600/700 Hz.
+func NewQueueMonitorWithTones(sw *netsim.Switch, port int, voice *Voice, tones [3]float64) *QueueMonitor {
+	return core.NewQueueMonitorWithTones(sw, port, voice, tones)
+}
+
+// NewLoadBalancer builds the Section 6 load balancer reacting to a
+// queue monitor's congested tone.
+func NewLoadBalancer(qm *QueueMonitor, ch *openflow.Channel, splitRule openflow.FlowMod) *LoadBalancer {
+	return core.NewLoadBalancer(qm, ch, splitRule)
+}
+
+// NewFanMonitor builds the Section 7 passive fan-failure monitor
+// watching the given harmonic frequencies on a microphone.
+func NewFanMonitor(mic *acoustic.Microphone, harmonics []float64) *FanMonitor {
+	return core.NewFanMonitor(mic, harmonics)
+}
+
+// NewSpreadDetector builds a k-superspreader or DDoS-victim detector
+// for one watched host.
+func NewSpreadDetector(plan *FrequencyPlan, switchName string, voice *Voice, mode SpreadMode, watched netip.Addr, buckets, k int) (*SpreadDetector, error) {
+	return core.NewSpreadDetector(plan, switchName, voice, mode, watched, buckets, k)
+}
+
+// NewRelay builds a frequency-translating acoustic relay.
+func NewRelay(sim *netsim.Sim, mic *acoustic.Microphone, pi *mp.Pi, mapping map[float64]float64) (*Relay, error) {
+	return core.NewRelay(sim, mic, pi, mapping)
+}
+
+// NewCongestionController wires a paced source to queue tones.
+func NewCongestionController(qm *QueueMonitor, source core.RateSetter) *CongestionController {
+	return core.NewCongestionController(qm, source)
+}
+
+// NewMelodyCodec allocates a 17-tone byte codec under the given name.
+func NewMelodyCodec(plan *FrequencyPlan, name string) (*MelodyCodec, error) {
+	return core.NewMelodyCodec(plan, name)
+}
+
+// NewMicArray builds a microphone array over the given microphones.
+func NewMicArray(sim *netsim.Sim, det *Detector, mics ...*acoustic.Microphone) *MicArray {
+	return core.NewMicArray(sim, det, mics...)
+}
+
+// NewManager builds an application manager around a microphone.
+func NewManager(sim *netsim.Sim, mic *acoustic.Microphone, plan *FrequencyPlan) *Manager {
+	return core.NewManager(sim, mic, plan)
+}
+
+// NewHeartbeat builds the liveness monitor (1 s period, 3-miss
+// threshold).
+func NewHeartbeat() *Heartbeat { return core.NewHeartbeat() }
+
+// NewKnockGenerator builds a rotating knock-sequence generator over a
+// shared secret.
+func NewKnockGenerator(secret []byte) *KnockGenerator {
+	return core.NewKnockGenerator(secret)
+}
+
+// Testbed assembles the full simulated MDN deployment: a
+// discrete-event network, an acoustic room, a frequency plan, and one
+// controller microphone at the origin. It is the quickest way to
+// stand up an end-to-end scenario; the examples all start here.
+type Testbed struct {
+	// Sim is the shared virtual clock and network simulator.
+	Sim *netsim.Sim
+	// Room is the acoustic environment.
+	Room *acoustic.Room
+	// Mic is the controller's microphone (at the origin).
+	Mic *acoustic.Microphone
+	// Plan is the testbed-wide frequency plan.
+	Plan *FrequencyPlan
+}
+
+// NewTestbed creates a testbed at 44.1 kHz with a 0.0005 RMS
+// microphone noise floor, seeded for reproducibility.
+func NewTestbed(seed int64) *Testbed {
+	sim := netsim.NewSim()
+	room := acoustic.NewRoom(44100, seed)
+	mic := room.AddMicrophone("controller", acoustic.Position{}, 0.0005)
+	return &Testbed{Sim: sim, Room: room, Mic: mic, Plan: DefaultPlan()}
+}
+
+// AddVoicedSwitch creates a switch whose Music Protocol sounder
+// drives a speaker at (x, y) metres from the controller microphone,
+// returning the switch and its voice.
+func (tb *Testbed) AddVoicedSwitch(name string, x, y float64) (*netsim.Switch, *Voice) {
+	sw := netsim.NewSwitch(tb.Sim, name)
+	sp := tb.Room.AddSpeaker(name, acoustic.Position{X: x, Y: y})
+	pi := mp.NewPi(tb.Sim, sp, 0.002)
+	return sw, core.NewVoice(tb.Sim, mp.NewSounder(pi))
+}
+
+// NewController builds a controller on the testbed microphone
+// watching the given frequencies with the Goertzel method.
+func (tb *Testbed) NewController(watch []float64) *Controller {
+	return core.NewController(tb.Sim, tb.Mic, NewDetector(MethodGoertzel, watch))
+}
+
+// OpenFlowChannel attaches a control channel with the given one-way
+// latency to a switch.
+func (tb *Testbed) OpenFlowChannel(sw *netsim.Switch, latency float64) *openflow.Channel {
+	return openflow.NewChannel(tb.Sim, sw, latency)
+}
