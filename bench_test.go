@@ -7,6 +7,8 @@ package mdn
 //	go test -bench=. -benchmem
 import (
 	"math"
+	"math/bits"
+	"strconv"
 	"testing"
 
 	"mdn/internal/audio"
@@ -77,7 +79,7 @@ func BenchmarkAblationDetectorMethod(b *testing.B) {
 		}
 		for _, m := range []Method{MethodGoertzel, MethodFFT} {
 			det := NewDetector(m, watch)
-			b.Run(m.String()+"-watch-"+itoa(n), func(b *testing.B) {
+			b.Run(m.String()+"-watch-"+strconv.Itoa(n), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					det.Detect(buf, 0)
@@ -112,7 +114,7 @@ func BenchmarkAblationWindowLength(b *testing.B) {
 		dur := float64(ms) / 1000
 		tone := audio.Tone{Frequency: 700, Duration: dur, Amplitude: 0.02}.Render(44100)
 		det := NewDetector(MethodGoertzel, []float64{660, 680, 700, 720, 740})
-		b.Run("window-"+itoa(ms)+"ms", func(b *testing.B) {
+		b.Run("window-"+strconv.Itoa(ms)+"ms", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				det.Detect(tone, 0)
@@ -126,7 +128,7 @@ func BenchmarkAblationWindowLength(b *testing.B) {
 func BenchmarkAcousticCapture(b *testing.B) {
 	tb := NewTestbed(99)
 	for i := 0; i < 10; i++ {
-		_, v := tb.AddVoicedSwitch("s"+itoa(i), 1+float64(i)*0.3, 0)
+		_, v := tb.AddVoicedSwitch("s"+strconv.Itoa(i), 1+float64(i)*0.3, 0)
 		f := 400 + float64(i)*80
 		tb.Sim.Schedule(0.1, func() { v.Play(f) })
 	}
@@ -160,26 +162,159 @@ func BenchmarkMelSpectrogram(b *testing.B) {
 	}
 }
 
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
+// sincosFFT is the pre-plan transform (per-butterfly math.Sincos, no
+// cached permutation), kept as the ablation baseline for
+// BenchmarkAblationPlannedFFT.
+func sincosFFT(x []complex128) {
+	n := len(x)
+	if n < 2 {
+		return
 	}
-	neg := n < 0
-	if neg {
-		n = -n
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
 	}
-	var buf [20]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				s, c := math.Sincos(step * float64(k))
+				w := complex(c, s)
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
 	}
-	if neg {
-		i--
-		buf[i] = '-'
+}
+
+// BenchmarkAblationPlannedFFT compares the planned transform (twiddle
+// table + cached bit reversal) with the unplanned per-butterfly
+// Sincos baseline it replaced, at the controller's 50 ms window size.
+func BenchmarkAblationPlannedFFT(b *testing.B) {
+	const n = 4096
+	src := detectionWindow().Samples
+	work := make([]complex128, n)
+	fill := func() {
+		for i := range work {
+			work[i] = 0
+		}
+		for i, v := range src {
+			work[i] = complex(v, 0)
+		}
 	}
-	return string(buf[i:])
+	b.Run("unplanned-sincos", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fill()
+			sincosFFT(work)
+		}
+	})
+	b.Run("planned", func(b *testing.B) {
+		p := dsp.PlanFFT(n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fill()
+			p.Transform(work)
+		}
+	})
+}
+
+// BenchmarkAblationPackedReal compares promoting a real block to
+// complex and running the full-size transform against the packed
+// real-input transform (N/2 butterflies), both on the cached plan.
+func BenchmarkAblationPackedReal(b *testing.B) {
+	const n = 4096
+	src := detectionWindow().Samples // 2205 samples, zero-padded
+	p := dsp.PlanFFT(n)
+	b.Run("promote-complex", func(b *testing.B) {
+		work := make([]complex128, n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for k := range work {
+				work[k] = 0
+			}
+			for k, v := range src {
+				work[k] = complex(v, 0)
+			}
+			p.Transform(work)
+		}
+	})
+	b.Run("packed-real", func(b *testing.B) {
+		var spec []complex128
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			spec = p.RealSpectrumInto(spec, src)
+		}
+	})
+}
+
+// BenchmarkPlannedWindowedSpectrum measures the controller's per-window
+// FFT front end on the planned API with a reused destination: the
+// steady state must report 0 allocs/op.
+func BenchmarkPlannedWindowedSpectrum(b *testing.B) {
+	buf := detectionWindow()
+	plan := dsp.PlanFFT(dsp.NextPowerOfTwo(buf.Len()))
+	var mags []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mags = plan.WindowedSpectrumInto(mags, buf.Samples, dsp.Hann)
+	}
+}
+
+// BenchmarkPlannedGoertzelBank measures the planned single-pass bank
+// (the Goertzel detector's steady state): 0 allocs/op.
+func BenchmarkPlannedGoertzelBank(b *testing.B) {
+	buf := detectionWindow()
+	for _, n := range []int{3, 12, 48} {
+		watch := make([]float64, n)
+		for i := range watch {
+			watch[i] = 400 + 20*float64(i)
+		}
+		gp := dsp.NewGoertzelPlan(watch, 44100)
+		b.Run("watch-"+strconv.Itoa(n), func(b *testing.B) {
+			var mags []float64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mags = gp.MagnitudesInto(mags, buf.Samples)
+			}
+		})
+	}
+}
+
+// BenchmarkSTFTFrames streams spectrogram frames through the pooled
+// plan scratch — the zero-allocation path under STFT.
+func BenchmarkSTFTFrames(b *testing.B) {
+	fan := audio.DefaultFan(0.3, 1).Render(44100, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dsp.STFTFrames(fan.Samples, 44100, 4096, 2048, dsp.Hann, func(frame int, start float64, power []float64) {})
+	}
+}
+
+// BenchmarkAblationSTFTParallel compares the serial planned STFT with
+// the goroutine fan-out across worker counts (the Figure 6 mel path).
+func BenchmarkAblationSTFTParallel(b *testing.B) {
+	fan := audio.DefaultFan(0.3, 1).Render(44100, 2)
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := "workers-" + strconv.Itoa(workers)
+		if workers == 0 {
+			name = "workers-gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = dsp.STFTParallel(fan.Samples, 44100, 4096, 2048, dsp.Hann, workers)
+			}
+		})
+	}
 }
 
 // TestFacadeSmoke exercises the public facade end to end: a voiced
@@ -199,15 +334,5 @@ func TestFacadeSmoke(t *testing.T) {
 	}
 	if math.Abs(heard[0].Frequency-freqs[0]) > 1e-9 {
 		t.Errorf("heard %g, want %g", heard[0].Frequency, freqs[0])
-	}
-}
-
-// TestItoa covers the local formatter.
-func TestItoa(t *testing.T) {
-	cases := map[int]string{0: "0", 7: "7", 42: "42", -3: "-3", 1000: "1000"}
-	for n, want := range cases {
-		if got := itoa(n); got != want {
-			t.Errorf("itoa(%d) = %q", n, got)
-		}
 	}
 }

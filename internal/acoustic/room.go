@@ -184,10 +184,16 @@ func (m *Microphone) Capture(from, to float64) *audio.Buffer {
 	copy(emissions, r.emissions)
 	noise := make([]*NoiseSource, len(r.noise))
 	copy(noise, r.noise)
+	// Snapshot the speaker map too: resolving each emission through
+	// r.Speaker would re-acquire the room mutex once per emission.
+	speakers := make(map[string]*Speaker, len(r.speakers))
+	for name, sp := range r.speakers {
+		speakers[name] = sp
+	}
 	r.mu.Unlock()
 
 	for _, e := range emissions {
-		sp := r.Speaker(e.Speaker)
+		sp := speakers[e.Speaker]
 		if sp == nil {
 			continue
 		}
@@ -231,18 +237,57 @@ func (m *Microphone) mixNoise(out *audio.Buffer, src *NoiseSource, from, to floa
 	if end <= 0 {
 		end = math.Inf(1)
 	}
-	for i := range out.Samples {
-		t := from + float64(i)/r.SampleRate
-		if t < start || t >= end {
-			continue
+	sr := r.SampleRate
+	nOut := len(out.Samples)
+	// Active sample range [i0, i1): samples whose time
+	// t = from + i/sr satisfies start <= t < end. Computed once
+	// instead of re-checking the window per sample; the boundary
+	// nudges below keep the set identical to the per-sample
+	// comparisons under floating-point rounding.
+	i0 := 0
+	if start > from {
+		i0 = int(math.Ceil((start - from) * sr))
+		if i0 < 0 {
+			i0 = 0
 		}
-		// Position within the looped buffer, delayed by propagation.
-		idx := int(math.Round((t - delay(dist)) * r.SampleRate))
-		idx %= n
-		if idx < 0 {
-			idx += n
+		for i0 > 0 && from+float64(i0-1)/sr >= start {
+			i0--
 		}
+		for i0 < nOut && from+float64(i0)/sr < start {
+			i0++
+		}
+	}
+	i1 := nOut
+	if !math.IsInf(end, 1) {
+		i1 = int(math.Ceil((end - from) * sr))
+		if i1 > nOut {
+			i1 = nOut
+		}
+		for i1 > 0 && from+float64(i1-1)/sr >= end {
+			i1--
+		}
+		for i1 < nOut && from+float64(i1)/sr < end {
+			i1++
+		}
+	}
+	if i0 >= i1 {
+		return
+	}
+	// Position within the looped buffer, delayed by propagation:
+	// idx(i) = round((t_i - delay)*sr) advances by exactly one per
+	// sample, so resolve it once and walk with a wrapping increment
+	// instead of a Round and two modulos per sample.
+	idx := int(math.Round((from + float64(i0)/sr - delay(dist)) * sr))
+	idx %= n
+	if idx < 0 {
+		idx += n
+	}
+	for i := i0; i < i1; i++ {
 		out.Samples[i] += loop.Samples[idx] * gain
+		idx++
+		if idx == n {
+			idx = 0
+		}
 	}
 }
 

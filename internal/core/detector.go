@@ -65,6 +65,16 @@ type Detector struct {
 	RelativeFloor float64
 
 	watch []float64
+
+	// Reused scratch: the controller calls Detect once per 50 ms
+	// window forever, so steady-state detection must not allocate.
+	// A Detector is therefore not safe for concurrent use; give
+	// each goroutine its own (the FFT plans they share underneath
+	// are concurrency-safe).
+	gplan *dsp.GoertzelPlan // rebuilt when watch list or rate changes
+	amps  []float64
+	mags  []float64
+	out   []Detection
 }
 
 // DefaultMinAmplitude corresponds to a 30 dB SPL tone — the paper's
@@ -94,11 +104,15 @@ func (d *Detector) Watch() []float64 {
 // AddWatch extends the watch list.
 func (d *Detector) AddWatch(freqs ...float64) {
 	d.watch = append(d.watch, freqs...)
+	d.gplan = nil // coefficients are stale
 }
 
 // Detect analyses one capture window and returns the watched tones
 // present in it, in watch-list order. windowStart stamps the
 // detections.
+//
+// The returned slice is scratch owned by the detector, valid until
+// the next Detect call; copy it to retain detections across windows.
 func (d *Detector) Detect(buf *audio.Buffer, windowStart float64) []Detection {
 	if buf == nil || buf.Len() == 0 || len(d.watch) == 0 {
 		return nil
@@ -112,15 +126,17 @@ func (d *Detector) Detect(buf *audio.Buffer, windowStart float64) []Detection {
 }
 
 func (d *Detector) detectGoertzel(buf *audio.Buffer, windowStart float64) []Detection {
-	n := float64(buf.Len())
-	amps := make([]float64, len(d.watch))
-	for i, f := range d.watch {
-		mag := dsp.Goertzel(buf.Samples, f, buf.SampleRate)
-		// A sinusoid of amplitude A spanning the whole window yields
-		// a Goertzel magnitude of A*n/2.
-		amps[i] = 2 * mag / n
+	if d.gplan == nil || d.gplan.SampleRate != buf.SampleRate {
+		d.gplan = dsp.NewGoertzelPlan(d.watch, buf.SampleRate)
 	}
-	return d.filter(amps, windowStart)
+	d.amps = d.gplan.MagnitudesInto(d.amps, buf.Samples)
+	// A sinusoid of amplitude A spanning the whole window yields a
+	// Goertzel magnitude of A*n/2.
+	scale := 2 / float64(buf.Len())
+	for i := range d.amps {
+		d.amps[i] *= scale
+	}
+	return d.filter(d.amps, windowStart)
 }
 
 // filter applies the absolute and relative thresholds to per-watch
@@ -136,23 +152,31 @@ func (d *Detector) filter(amps []float64, windowStart float64) []Detection {
 	if rel := d.RelativeFloor * maxAmp; rel > floor {
 		floor = rel
 	}
-	var out []Detection
+	out := d.out[:0]
 	for i, a := range amps {
 		if a >= floor {
 			out = append(out, Detection{Time: windowStart, Frequency: d.watch[i], Amplitude: a})
 		}
+	}
+	d.out = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
 
 func (d *Detector) detectFFT(buf *audio.Buffer, windowStart float64) []Detection {
 	n := buf.Len()
-	mags, fftSize := dsp.WindowedSpectrum(buf.Samples, dsp.Hann)
+	fftSize := dsp.NextPowerOfTwo(n)
+	plan := dsp.PlanFFT(fftSize)
+	d.mags = plan.WindowedSpectrumInto(d.mags, buf.Samples, dsp.Hann)
+	mags := d.mags
 	gain := dsp.Hann.Gain(n)
-	amps := make([]float64, len(d.watch))
+	d.amps = growFloats(d.amps, len(d.watch))
+	amps := d.amps
+	span := int(math.Ceil(d.ToleranceHz / dsp.BinResolution(fftSize, buf.SampleRate)))
 	for i, f := range d.watch {
 		center := dsp.FrequencyBin(f, fftSize, buf.SampleRate)
-		span := int(math.Ceil(d.ToleranceHz / dsp.BinResolution(fftSize, buf.SampleRate)))
 		best := 0.0
 		for k := center - span; k <= center+span; k++ {
 			if k >= 0 && k < len(mags) && mags[k] > best {
@@ -164,6 +188,13 @@ func (d *Detector) detectFFT(buf *audio.Buffer, windowStart float64) []Detection
 		amps[i] = 2 * best / (float64(n) * gain)
 	}
 	return d.filter(amps, windowStart)
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
 }
 
 // OnsetFilter turns per-window presence into confirmed tone events: a

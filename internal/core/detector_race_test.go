@@ -1,0 +1,53 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"mdn/internal/audio"
+)
+
+// TestDetectorConcurrentSharedPlan hammers the detector from many
+// goroutines at once (run under -race in CI). Individual Detectors
+// hold per-instance scratch and are not shareable, but all of them
+// lean on the same globally cached FFT plan, window-coefficient
+// tables, and gain cache — this test drives both detection methods
+// through those shared structures simultaneously and checks every
+// goroutine decodes the same tones.
+func TestDetectorConcurrentSharedPlan(t *testing.T) {
+	const goroutines = 8
+	buf := audio.Chord(44100,
+		audio.Tone{Frequency: 520, Duration: 0.05, Amplitude: 0.02},
+		audio.Tone{Frequency: 840, Duration: 0.05, Amplitude: 0.02},
+	)
+	watch := []float64{520, 700, 840}
+
+	var wg sync.WaitGroup
+	results := make([][]float64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			method := MethodGoertzel
+			if g%2 == 1 {
+				method = MethodFFT
+			}
+			det := NewDetector(method, watch)
+			var freqs []float64
+			for i := 0; i < 50; i++ {
+				freqs = freqs[:0]
+				for _, d := range det.Detect(buf, 0) {
+					freqs = append(freqs, d.Frequency)
+				}
+			}
+			results[g] = freqs
+		}(g)
+	}
+	wg.Wait()
+
+	for g, freqs := range results {
+		if len(freqs) != 2 || freqs[0] != 520 || freqs[1] != 840 {
+			t.Errorf("goroutine %d decoded %v, want [520 840]", g, freqs)
+		}
+	}
+}

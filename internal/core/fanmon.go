@@ -49,18 +49,25 @@ func NewFanMonitor(mic *acoustic.Microphone, harmonics []float64) *FanMonitor {
 }
 
 // amplitudes measures the per-harmonic amplitude over [from, to),
-// averaging window-sized chunks.
+// averaging window-sized chunks. The harmonic stack is evaluated as a
+// single-pass Goertzel bank per chunk.
 func (fm *FanMonitor) amplitudes(from, to float64) []float64 {
 	out := make([]float64, len(fm.Harmonics))
 	windows := 0
+	var gplan *dsp.GoertzelPlan
+	var mags []float64
 	for t := from; t+fm.WindowDur <= to+1e-9; t += fm.WindowDur {
 		buf := fm.mic.Capture(t, t+fm.WindowDur)
 		n := float64(buf.Len())
 		if n == 0 {
 			continue
 		}
-		for i, f := range fm.Harmonics {
-			out[i] += 2 * dsp.Goertzel(buf.Samples, f, buf.SampleRate) / n
+		if gplan == nil || gplan.SampleRate != buf.SampleRate {
+			gplan = dsp.NewGoertzelPlan(fm.Harmonics, buf.SampleRate)
+		}
+		mags = gplan.MagnitudesInto(mags, buf.Samples)
+		for i, m := range mags {
+			out[i] += 2 * m / n
 		}
 		windows++
 	}

@@ -8,7 +8,6 @@
 package dsp
 
 import (
-	"fmt"
 	"math"
 	"math/bits"
 )
@@ -41,75 +40,47 @@ func NextPowerOfTwo(n int) int {
 // The transform follows the usual engineering convention:
 //
 //	X[k] = sum_n x[n] * exp(-2*pi*i*n*k/N)
+//
+// It runs on the cached FFTPlan for len(x); callers in a hot loop can
+// hold the plan themselves (PlanFFT) to skip the cache lookup.
 func FFT(x []complex128) {
-	fftDIT(x, false)
+	if len(x) == 0 {
+		return
+	}
+	PlanFFT(len(x)).Transform(x)
 }
 
 // IFFT computes the in-place inverse FFT of x, including the 1/N
 // normalisation, so IFFT(FFT(x)) == x up to rounding.
 func IFFT(x []complex128) {
-	fftDIT(x, true)
-	n := complex(float64(len(x)), 0)
-	for i := range x {
-		x[i] /= n
-	}
-}
-
-func fftDIT(x []complex128, inverse bool) {
-	n := len(x)
-	if n == 0 {
+	if len(x) == 0 {
 		return
 	}
-	if !IsPowerOfTwo(n) {
-		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
-	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	if n == 1 {
-		return
-	}
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size / 2
-		step := sign * 2 * math.Pi / float64(size)
-		// Twiddle factor advanced by multiplication each iteration
-		// would accumulate error over long runs; recompute per butterfly
-		// group via Sincos, which is still cheap relative to the loop body.
-		for start := 0; start < n; start += size {
-			for k := 0; k < half; k++ {
-				s, c := math.Sincos(step * float64(k))
-				w := complex(c, s)
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-			}
-		}
-	}
+	PlanFFT(len(x)).InverseTransform(x)
 }
 
 // FFTReal transforms a real-valued signal. The input is zero-padded to
 // the next power of two when necessary. It returns the full complex
 // spectrum of length NextPowerOfTwo(len(x)).
+//
+// Internally it runs the packed real transform (half the butterflies)
+// and mirrors the half spectrum via conjugate symmetry. Callers that
+// only need the non-negative bins should use FFTPlan.RealSpectrumInto
+// and skip the mirroring and the allocation.
 func FFTReal(x []float64) []complex128 {
 	if len(x) == 0 {
 		return nil
 	}
 	n := NextPowerOfTwo(len(x))
+	p := PlanFFT(n)
 	out := make([]complex128, n)
-	for i, v := range x {
-		out[i] = complex(v, 0)
+	half := p.RealSpectrumInto(out[:0], x)
+	// Mirror X[n-k] = conj(X[k]) into the upper half. half aliases
+	// out[:n/2+1], so walk outward-in.
+	for k := n/2 + 1; k < n; k++ {
+		c := half[n-k]
+		out[k] = complex(real(c), -imag(c))
 	}
-	FFT(out)
 	return out
 }
 
@@ -170,19 +141,18 @@ func BinResolution(fftSize int, sampleRate float64) float64 {
 	return sampleRate / float64(fftSize)
 }
 
-// WindowedSpectrum applies the window to a copy of x, zero-pads to
-// the next power of two, and returns the half-spectrum magnitudes and
-// the transform size. It is the analysis front end shared by the MDN
-// detectors.
+// WindowedSpectrum windows x (without modifying it), zero-pads to the
+// next power of two, and returns the half-spectrum magnitudes and the
+// transform size. It is the analysis front end shared by the MDN
+// detectors — a thin allocating wrapper over
+// FFTPlan.WindowedSpectrumInto, which hot paths should call directly
+// with a reused destination slice.
 func WindowedSpectrum(x []float64, win Window) (mags []float64, fftSize int) {
 	if len(x) == 0 {
 		return nil, 0
 	}
-	work := make([]float64, len(x))
-	copy(work, x)
-	win.Apply(work)
-	spec := FFTReal(work)
-	return Magnitudes(spec), len(spec)
+	n := NextPowerOfTwo(len(x))
+	return PlanFFT(n).WindowedSpectrumInto(nil, x, win), n
 }
 
 // WindowedPowerSpectrum is WindowedSpectrum returning power values.
@@ -190,9 +160,6 @@ func WindowedPowerSpectrum(x []float64, win Window) (power []float64, fftSize in
 	if len(x) == 0 {
 		return nil, 0
 	}
-	work := make([]float64, len(x))
-	copy(work, x)
-	win.Apply(work)
-	spec := FFTReal(work)
-	return PowerSpectrum(spec), len(spec)
+	n := NextPowerOfTwo(len(x))
+	return PlanFFT(n).WindowedPowerSpectrumInto(nil, x, win), n
 }

@@ -82,7 +82,13 @@ func NewMelFilterBank(numFilters, fftSize int, sampleRate, minHz, maxHz float64)
 // Apply projects a half-spectrum (len FFTSize/2+1 power or magnitude
 // values) onto the filter bank, returning one energy per filter.
 func (b *MelFilterBank) Apply(spectrum []float64) []float64 {
-	out := make([]float64, b.NumFilters)
+	return b.ApplyInto(nil, spectrum)
+}
+
+// ApplyInto is Apply writing into dst (reusing its capacity), so
+// steady-state projections are allocation-free.
+func (b *MelFilterBank) ApplyInto(dst, spectrum []float64) []float64 {
+	dst = growFloat(dst, b.NumFilters)
 	for f, w := range b.weights {
 		var sum float64
 		n := len(spectrum)
@@ -92,7 +98,7 @@ func (b *MelFilterBank) Apply(spectrum []float64) []float64 {
 		for k := 0; k < n; k++ {
 			sum += w[k] * spectrum[k]
 		}
-		out[f] = sum
+		dst[f] = sum
 	}
-	return out
+	return dst
 }

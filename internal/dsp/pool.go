@@ -1,0 +1,21 @@
+package dsp
+
+// grow helpers back the planned Into APIs: results are written into
+// the caller's slice when it has capacity, so a caller that feeds each
+// call's return value into the next reaches a steady state with zero
+// allocations. They deliberately do not zero reused memory — every
+// Into path overwrites all n elements.
+
+func growFloat(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+func growComplex(s []complex128, n int) []complex128 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]complex128, n)
+}

@@ -1,6 +1,10 @@
 package dsp
 
-import "math"
+import (
+	"math"
+	"runtime"
+	"sync"
+)
 
 // Spectrogram holds the short-time Fourier transform of a signal:
 // one spectrum row per analysis frame.
@@ -22,34 +26,108 @@ type Spectrogram struct {
 // window, fftSize and hopSize (both in samples). Frames that would run
 // past the end of x are zero-padded. It returns nil when x is shorter
 // than one hop.
+//
+// It reuses one FFTPlan plus pooled scratch across all frames and
+// packs every frame through the real-input transform; STFTParallel
+// fans the frames out over goroutines.
 func STFT(x []float64, sampleRate float64, fftSize, hopSize int, win Window) *Spectrogram {
+	return STFTParallel(x, sampleRate, fftSize, hopSize, win, 1)
+}
+
+// STFTParallel is STFT with the frames divided among workers
+// goroutines, each holding its own plan scratch. workers <= 0 uses
+// GOMAXPROCS. Frames are independent, so the result is identical to
+// the serial transform.
+func STFTParallel(x []float64, sampleRate float64, fftSize, hopSize int, win Window, workers int) *Spectrogram {
 	if len(x) == 0 || fftSize <= 0 || hopSize <= 0 {
 		return nil
 	}
 	fftSize = NextPowerOfTwo(fftSize)
-	coef := win.Coefficients(fftSize)
+	p := PlanFFT(fftSize)
+	coef := win.coefficients(fftSize)
 	nFrames := (len(x) + hopSize - 1) / hopSize
+	half := fftSize/2 + 1
 	sg := &Spectrogram{
 		SampleRate: sampleRate,
 		FFTSize:    fftSize,
 		HopSize:    hopSize,
-		Times:      make([]float64, 0, nFrames),
-		Power:      make([][]float64, 0, nFrames),
+		Times:      make([]float64, nFrames),
+		Power:      make([][]float64, nFrames),
 	}
-	buf := make([]complex128, fftSize)
-	for start := 0; start < len(x); start += hopSize {
-		for i := 0; i < fftSize; i++ {
-			v := 0.0
-			if start+i < len(x) {
-				v = x[start+i] * coef[i]
-			}
-			buf[i] = complex(v, 0)
+	// One flat backing array instead of one allocation per frame.
+	flat := make([]float64, nFrames*half)
+	for f := 0; f < nFrames; f++ {
+		sg.Times[f] = float64(f*hopSize) / sampleRate
+		sg.Power[f] = flat[f*half : (f+1)*half : (f+1)*half]
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nFrames {
+		workers = nFrames
+	}
+	doFrame := func(s *fftScratch, f int) {
+		start := f * hopSize
+		end := start + fftSize
+		if end > len(x) {
+			end = len(x)
 		}
-		FFT(buf)
-		sg.Times = append(sg.Times, float64(start)/sampleRate)
-		sg.Power = append(sg.Power, PowerSpectrum(buf))
+		s.spec = p.realSpectrumWindowed(s.spec[:0], x[start:end], coef)
+		powerInto(sg.Power[f], s.spec)
 	}
+	if workers <= 1 {
+		s := p.scratch.Get().(*fftScratch)
+		for f := 0; f < nFrames; f++ {
+			doFrame(s, f)
+		}
+		p.scratch.Put(s)
+		return sg
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := p.scratch.Get().(*fftScratch)
+			for f := w; f < nFrames; f += workers {
+				doFrame(s, f)
+			}
+			p.scratch.Put(s)
+		}(w)
+	}
+	wg.Wait()
 	return sg
+}
+
+// STFTFrames streams the windowed power spectrum of each frame to fn
+// without materialising a Spectrogram: the power slice is pooled plan
+// scratch reused between frames (valid only during the callback), so
+// steady-state frames are allocation-free. Frame i starts at sample
+// i*hopSize (time start seconds); the slice holds fftSize/2+1 bins of
+// the NextPowerOfTwo(fftSize) transform. It reports the number of
+// frames processed.
+func STFTFrames(x []float64, sampleRate float64, fftSize, hopSize int, win Window, fn func(frame int, start float64, power []float64)) int {
+	if len(x) == 0 || fftSize <= 0 || hopSize <= 0 {
+		return 0
+	}
+	fftSize = NextPowerOfTwo(fftSize)
+	p := PlanFFT(fftSize)
+	coef := win.coefficients(fftSize)
+	half := fftSize/2 + 1
+	s := p.scratch.Get().(*fftScratch)
+	nFrames := 0
+	for start := 0; start < len(x); start += hopSize {
+		end := start + fftSize
+		if end > len(x) {
+			end = len(x)
+		}
+		s.spec = p.realSpectrumWindowed(s.spec[:0], x[start:end], coef)
+		powerInto(s.vals[:half], s.spec)
+		fn(nFrames, float64(start)/sampleRate, s.vals[:half])
+		nFrames++
+	}
+	p.scratch.Put(s)
+	return nFrames
 }
 
 // NumFrames returns the number of analysis frames.
@@ -66,8 +144,11 @@ func (s *Spectrogram) FrameDuration() float64 {
 // SampleRate.
 func (s *Spectrogram) Mel(bank *MelFilterBank) [][]float64 {
 	out := make([][]float64, len(s.Power))
+	// One flat backing array instead of one allocation per frame.
+	flat := make([]float64, len(s.Power)*bank.NumFilters)
 	for i, frame := range s.Power {
-		out[i] = bank.Apply(frame)
+		row := flat[i*bank.NumFilters : (i+1)*bank.NumFilters : (i+1)*bank.NumFilters]
+		out[i] = bank.ApplyInto(row, frame)
 	}
 	return out
 }

@@ -1,6 +1,9 @@
 package dsp
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Window identifies a tapering function applied to a signal block
 // before a transform to control spectral leakage.
@@ -39,12 +42,35 @@ func (w Window) String() string {
 	}
 }
 
-// Coefficients returns the n window coefficients. For n <= 1 it
-// returns a slice of ones (a single-sample window cannot taper).
-func (w Window) Coefficients(n int) []float64 {
-	if n <= 0 {
+// winKey keys the per-(window, length) caches below.
+type winKey struct {
+	w Window
+	n int
+}
+
+var (
+	coefCache sync.Map // winKey -> []float64 (shared, read-only)
+	gainCache sync.Map // winKey -> float64
+)
+
+// coefficients returns the shared, cached coefficient slice for
+// (w, n). Callers must treat it as read-only. Rectangular returns nil,
+// which every internal consumer interprets as "no tapering" — it
+// skips a pointless multiply-by-one pass.
+func (w Window) coefficients(n int) []float64 {
+	if n <= 0 || w == Rectangular {
 		return nil
 	}
+	key := winKey{w, n}
+	if v, ok := coefCache.Load(key); ok {
+		return v.([]float64)
+	}
+	out := w.compute(n)
+	actual, _ := coefCache.LoadOrStore(key, out)
+	return actual.([]float64)
+}
+
+func (w Window) compute(n int) []float64 {
 	out := make([]float64, n)
 	if n == 1 {
 		out[0] = 1
@@ -67,12 +93,32 @@ func (w Window) Coefficients(n int) []float64 {
 	return out
 }
 
-// Apply multiplies x by the window in place and returns x.
+// Coefficients returns the n window coefficients. For n <= 1 it
+// returns a slice of ones (a single-sample window cannot taper). The
+// result is a fresh copy the caller may mutate; hot paths inside dsp
+// use the shared cache instead.
+func (w Window) Coefficients(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	if coef := w.coefficients(n); coef != nil {
+		copy(out, coef)
+	} else {
+		for i := range out {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Apply multiplies x by the window in place and returns x. It uses
+// the cached coefficients, so steady-state calls allocate nothing.
 func (w Window) Apply(x []float64) []float64 {
-	if w == Rectangular {
+	coef := w.coefficients(len(x))
+	if coef == nil {
 		return x
 	}
-	coef := w.Coefficients(len(x))
 	for i := range x {
 		x[i] *= coef[i]
 	}
@@ -81,14 +127,25 @@ func (w Window) Apply(x []float64) []float64 {
 
 // Gain returns the coherent gain of the window (mean coefficient),
 // used to correct tone amplitudes measured through a windowed FFT.
+// Gains are cached per (window, length), so repeated calls on the
+// controller hot path are allocation-free.
 func (w Window) Gain(n int) float64 {
 	if n <= 0 {
 		return 0
 	}
-	coef := w.Coefficients(n)
+	if w == Rectangular {
+		return 1
+	}
+	key := winKey{w, n}
+	if v, ok := gainCache.Load(key); ok {
+		return v.(float64)
+	}
+	coef := w.coefficients(n)
 	sum := 0.0
 	for _, c := range coef {
 		sum += c
 	}
-	return sum / float64(n)
+	g := sum / float64(n)
+	gainCache.Store(key, g)
+	return g
 }

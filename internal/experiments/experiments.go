@@ -73,7 +73,9 @@ func (r *Result) MelSpectrogram(bands int, maxHz float64) [][]float64 {
 	if r.Audio == nil || r.Audio.Len() == 0 {
 		return nil
 	}
-	sg := dsp.STFT(r.Audio.Samples, r.Audio.SampleRate, 2048, 1024, dsp.Hann)
+	// Frames are independent; fan the Figure 6 mel path out over all
+	// cores (workers <= 0 means GOMAXPROCS).
+	sg := dsp.STFTParallel(r.Audio.Samples, r.Audio.SampleRate, 2048, 1024, dsp.Hann, 0)
 	if sg == nil {
 		return nil
 	}
