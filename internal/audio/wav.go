@@ -1,6 +1,7 @@
 package audio
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -59,40 +60,91 @@ func EncodeWAV(w io.Writer, b *Buffer) error {
 var ErrNotWAV = errors.New("audio: not a supported WAV stream")
 
 // DecodeWAV reads a 16-bit PCM mono RIFF WAV stream produced by
-// EncodeWAV (or any compatible tool).
+// EncodeWAV or any compatible tool. It walks the RIFF chunk list until
+// the data chunk, so files with an extended fmt chunk (size > 16) or
+// extra chunks before the audio (LIST metadata, fact, ...) decode too
+// — not just EncodeWAV's fixed 44-byte layout.
 func DecodeWAV(r io.Reader) (*Buffer, error) {
-	var hdr [wavHeaderBytes]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var riff [12]byte
+	if _, err := io.ReadFull(r, riff[:]); err != nil {
 		return nil, fmt.Errorf("audio: reading WAV header: %w", err)
 	}
-	if string(hdr[0:4]) != "RIFF" || string(hdr[8:12]) != "WAVE" || string(hdr[12:16]) != "fmt " {
+	if string(riff[0:4]) != "RIFF" || string(riff[8:12]) != "WAVE" {
 		return nil, ErrNotWAV
 	}
-	if binary.LittleEndian.Uint16(hdr[20:22]) != wavFormatPCM {
-		return nil, fmt.Errorf("%w: not PCM", ErrNotWAV)
+	var rate uint32
+	haveFmt := false
+	for {
+		var ch [8]byte
+		if _, err := io.ReadFull(r, ch[:]); err != nil {
+			return nil, fmt.Errorf("%w: no data chunk", ErrNotWAV)
+		}
+		size := int64(binary.LittleEndian.Uint32(ch[4:8]))
+		switch string(ch[0:4]) {
+		case "fmt ":
+			if size < 16 {
+				return nil, fmt.Errorf("%w: fmt chunk %d bytes", ErrNotWAV, size)
+			}
+			var f [16]byte
+			if _, err := io.ReadFull(r, f[:]); err != nil {
+				return nil, fmt.Errorf("audio: reading WAV fmt chunk: %w", err)
+			}
+			if binary.LittleEndian.Uint16(f[0:2]) != wavFormatPCM {
+				return nil, fmt.Errorf("%w: not PCM", ErrNotWAV)
+			}
+			if binary.LittleEndian.Uint16(f[2:4]) != 1 {
+				return nil, fmt.Errorf("%w: not mono", ErrNotWAV)
+			}
+			if binary.LittleEndian.Uint16(f[14:16]) != wavBitsPer {
+				return nil, fmt.Errorf("%w: not 16-bit", ErrNotWAV)
+			}
+			rate = binary.LittleEndian.Uint32(f[4:8])
+			// Skip any fmt extension (e.g. the cbSize field of the
+			// 18-byte variant) plus the RIFF word-alignment pad.
+			if err := discard(r, size-16+size%2); err != nil {
+				return nil, err
+			}
+			haveFmt = true
+		case "data":
+			if !haveFmt {
+				return nil, fmt.Errorf("%w: data chunk before fmt", ErrNotWAV)
+			}
+			if size%2 != 0 {
+				return nil, fmt.Errorf("%w: bad data size %d", ErrNotWAV, size)
+			}
+			// Read incrementally rather than pre-allocating the
+			// advertised size, so a corrupt huge length field cannot
+			// force a giant allocation.
+			var data bytes.Buffer
+			if _, err := io.CopyN(&data, r, size); err != nil {
+				return nil, fmt.Errorf("audio: reading WAV data: %w", err)
+			}
+			pcm := data.Bytes()
+			b := &Buffer{SampleRate: float64(rate), Samples: make([]float64, len(pcm)/2)}
+			for i := range b.Samples {
+				s := int16(binary.LittleEndian.Uint16(pcm[i*2:]))
+				v := float64(s) / 32767
+				if v < -1 {
+					v = -1 // -32768 would land just outside the domain
+				}
+				b.Samples[i] = v
+			}
+			return b, nil
+		default:
+			// LIST, fact, cue, ... — not audio; skip chunk plus pad.
+			if err := discard(r, size+size%2); err != nil {
+				return nil, err
+			}
+		}
 	}
-	if binary.LittleEndian.Uint16(hdr[22:24]) != 1 {
-		return nil, fmt.Errorf("%w: not mono", ErrNotWAV)
+}
+
+func discard(r io.Reader, n int64) error {
+	if n <= 0 {
+		return nil
 	}
-	if binary.LittleEndian.Uint16(hdr[34:36]) != wavBitsPer {
-		return nil, fmt.Errorf("%w: not 16-bit", ErrNotWAV)
+	if _, err := io.CopyN(io.Discard, r, n); err != nil {
+		return fmt.Errorf("%w: truncated chunk", ErrNotWAV)
 	}
-	if string(hdr[36:40]) != "data" {
-		return nil, fmt.Errorf("%w: missing data chunk", ErrNotWAV)
-	}
-	rate := binary.LittleEndian.Uint32(hdr[24:28])
-	dataBytes := int(binary.LittleEndian.Uint32(hdr[40:44]))
-	if dataBytes < 0 || dataBytes%2 != 0 {
-		return nil, fmt.Errorf("%w: bad data size %d", ErrNotWAV, dataBytes)
-	}
-	pcm := make([]byte, dataBytes)
-	if _, err := io.ReadFull(r, pcm); err != nil {
-		return nil, fmt.Errorf("audio: reading WAV data: %w", err)
-	}
-	b := &Buffer{SampleRate: float64(rate), Samples: make([]float64, dataBytes/2)}
-	for i := range b.Samples {
-		s := int16(binary.LittleEndian.Uint16(pcm[i*2:]))
-		b.Samples[i] = float64(s) / 32767
-	}
-	return b, nil
+	return nil
 }

@@ -2,6 +2,7 @@ package audio
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math"
 	"strings"
@@ -82,5 +83,114 @@ func TestDecodeWAVRejectsStereo(t *testing.T) {
 	raw[22] = 2 // channels = 2
 	if _, err := DecodeWAV(bytes.NewReader(raw)); !errors.Is(err, ErrNotWAV) {
 		t.Errorf("stereo should be rejected, got %v", err)
+	}
+}
+
+// buildChunkedWAV assembles a RIFF stream chunk by chunk, the layouts
+// real tools emit: extended fmt chunks and metadata before data.
+func buildChunkedWAV(chunks ...[]byte) []byte {
+	var body bytes.Buffer
+	body.WriteString("WAVE")
+	for _, c := range chunks {
+		body.Write(c)
+	}
+	var out bytes.Buffer
+	out.WriteString("RIFF")
+	var sz [4]byte
+	binary.LittleEndian.PutUint32(sz[:], uint32(body.Len()))
+	out.Write(sz[:])
+	out.Write(body.Bytes())
+	return out.Bytes()
+}
+
+func chunk(id string, payload []byte) []byte {
+	var c bytes.Buffer
+	c.WriteString(id)
+	var sz [4]byte
+	binary.LittleEndian.PutUint32(sz[:], uint32(len(payload)))
+	c.Write(sz[:])
+	c.Write(payload)
+	if len(payload)%2 == 1 {
+		c.WriteByte(0) // RIFF word-alignment pad
+	}
+	return c.Bytes()
+}
+
+func fmtChunk(extra int) []byte {
+	p := make([]byte, 16+extra)
+	binary.LittleEndian.PutUint16(p[0:2], wavFormatPCM)
+	binary.LittleEndian.PutUint16(p[2:4], 1) // mono
+	binary.LittleEndian.PutUint32(p[4:8], 8000)
+	binary.LittleEndian.PutUint32(p[8:12], 16000)
+	binary.LittleEndian.PutUint16(p[12:14], 2)
+	binary.LittleEndian.PutUint16(p[14:16], wavBitsPer)
+	return p
+}
+
+func pcmChunk(samples ...int16) []byte {
+	p := make([]byte, len(samples)*2)
+	for i, s := range samples {
+		binary.LittleEndian.PutUint16(p[i*2:], uint16(s))
+	}
+	return p
+}
+
+// Regression: standard WAVs with an extended fmt chunk or LIST/fact
+// chunks before data used to be rejected by the fixed 44-byte parser.
+func TestDecodeWAVChunked(t *testing.T) {
+	cases := map[string][]byte{
+		"extended fmt (18 bytes)": buildChunkedWAV(
+			chunk("fmt ", fmtChunk(2)),
+			chunk("data", pcmChunk(100, -100, 32767))),
+		"LIST before data": buildChunkedWAV(
+			chunk("fmt ", fmtChunk(0)),
+			chunk("LIST", []byte("INFOISFT\x05\x00\x00\x00mdn\x00\x00")),
+			chunk("data", pcmChunk(100, -100, 32767))),
+		"fact and odd-sized LIST": buildChunkedWAV(
+			chunk("fmt ", fmtChunk(0)),
+			chunk("fact", []byte{3, 0, 0, 0}),
+			chunk("LIST", []byte("INFOodd")),
+			chunk("data", pcmChunk(100, -100, 32767))),
+	}
+	for name, wav := range cases {
+		got, err := DecodeWAV(bytes.NewReader(wav))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if got.SampleRate != 8000 || len(got.Samples) != 3 {
+			t.Errorf("%s: rate=%g n=%d", name, got.SampleRate, len(got.Samples))
+			continue
+		}
+		if math.Abs(got.Samples[2]-1) > 1e-9 {
+			t.Errorf("%s: sample 2 = %g, want 1", name, got.Samples[2])
+		}
+	}
+}
+
+func TestDecodeWAVChunkOrdering(t *testing.T) {
+	noFmt := buildChunkedWAV(chunk("data", pcmChunk(1, 2)))
+	if _, err := DecodeWAV(bytes.NewReader(noFmt)); !errors.Is(err, ErrNotWAV) {
+		t.Errorf("data before fmt: err = %v, want ErrNotWAV", err)
+	}
+	noData := buildChunkedWAV(chunk("fmt ", fmtChunk(0)), chunk("LIST", []byte("INFO")))
+	if _, err := DecodeWAV(bytes.NewReader(noData)); !errors.Is(err, ErrNotWAV) {
+		t.Errorf("missing data: err = %v, want ErrNotWAV", err)
+	}
+	tiny := buildChunkedWAV(chunk("fmt ", fmtChunk(0)[:12]), chunk("data", nil))
+	if _, err := DecodeWAV(bytes.NewReader(tiny)); !errors.Is(err, ErrNotWAV) {
+		t.Errorf("12-byte fmt: err = %v, want ErrNotWAV", err)
+	}
+}
+
+// A corrupt data-chunk length field must not force a giant allocation
+// or mask truncation: the decoder errors out after the bytes run dry.
+func TestDecodeWAVHugeAdvertisedData(t *testing.T) {
+	wav := buildChunkedWAV(chunk("fmt ", fmtChunk(0)), chunk("data", pcmChunk(1, 2)))
+	// Inflate the data chunk's size field to ~4 GiB.
+	off := len(wav) - 2*2 - 4
+	binary.LittleEndian.PutUint32(wav[off:], 0xFFFFFFF0)
+	if _, err := DecodeWAV(bytes.NewReader(wav)); err == nil {
+		t.Error("4 GiB advertised data decoded from 4 real bytes")
 	}
 }

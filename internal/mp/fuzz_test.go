@@ -1,0 +1,40 @@
+package mp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzUnmarshal drives arbitrary bytes through the flat codec and the
+// stream decoder: no panic, and anything that decodes must re-marshal
+// to the identical bytes.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Marshal(Message{Frequency: 440, Duration: 0.05, Intensity: 60}))
+	f.Add(Marshal(Message{Frequency: 21999, Duration: 60, Intensity: 120}))
+	bad := Marshal(Message{Frequency: 440, Duration: 1, Intensity: 1})
+	bad[3] = 7 // reserved byte
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err == nil {
+			if re := Marshal(m); !bytes.Equal(re, data) {
+				t.Fatalf("round trip diverged:\n in  %x\n out %x", data, re)
+			}
+		}
+		// The stream decoder must consume the same bytes without
+		// panicking, whatever the framing damage — skipping bad
+		// frames exactly as Server.serveConn does.
+		dec := NewDecoder(bytes.NewReader(data))
+		for {
+			_, err := dec.Decode()
+			if errors.Is(err, ErrBadMessage) {
+				continue
+			}
+			if err != nil {
+				break
+			}
+		}
+	})
+}

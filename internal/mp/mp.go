@@ -75,9 +75,12 @@ func Marshal(m Message) []byte {
 	return out
 }
 
-// Unmarshal decodes a wire-form message.
+// Unmarshal decodes a wire-form message. It is strict: the buffer must
+// be exactly one message, the reserved byte must be zero, and no field
+// may be NaN — so corrupt bytes fail loudly instead of decoding into a
+// message the sender never meant.
 func Unmarshal(b []byte) (Message, error) {
-	if len(b) < WireSize {
+	if len(b) != WireSize {
 		return Message{}, fmt.Errorf("%w: %d bytes, need %d", ErrBadMessage, len(b), WireSize)
 	}
 	if b[0] != 'M' || b[1] != 'P' {
@@ -85,6 +88,9 @@ func Unmarshal(b []byte) (Message, error) {
 	}
 	if b[2] != version {
 		return Message{}, fmt.Errorf("%w: unsupported version %d", ErrBadMessage, b[2])
+	}
+	if b[3] != 0 {
+		return Message{}, fmt.Errorf("%w: reserved byte %d", ErrBadMessage, b[3])
 	}
 	m := Message{
 		Frequency: math.Float64frombits(binary.BigEndian.Uint64(b[4:12])),

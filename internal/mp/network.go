@@ -13,18 +13,23 @@ import (
 // them on arrival.
 
 // NetworkSounder emits MP messages as packets directly out a port —
-// the firmware path that bypasses the flow table.
+// the firmware path that bypasses the flow table. InjectFaults arms
+// deterministic wire faults on the hop: corrupted payloads travel the
+// link and are rejected (and counted) by the Pi's decoder on arrival.
 type NetworkSounder struct {
 	// Flow stamps the emitted packets (the switch→Pi management
 	// tuple).
 	Flow netsim.FiveTuple
 
-	port *netsim.Port
-	sim  *netsim.Sim
-	id   uint64
+	port   *netsim.Port
+	sim    *netsim.Sim
+	id     uint64
+	faults *netsim.FaultInjector
 
 	// Sent counts emitted MP packets.
 	Sent uint64
+	// Dropped counts packets lost whole to injected faults.
+	Dropped uint64
 }
 
 // NewNetworkSounder wires a sender to the switch's Pi-facing port.
@@ -32,18 +37,35 @@ func NewNetworkSounder(sim *netsim.Sim, port *netsim.Port, flow netsim.FiveTuple
 	return &NetworkSounder{Flow: flow, port: port, sim: sim}
 }
 
+// InjectFaults arms wire-fault injection on the switch→Pi packets and
+// returns the injector so callers can read its counters.
+func (ns *NetworkSounder) InjectFaults(f netsim.Faults) *netsim.FaultInjector {
+	ns.faults = netsim.NewFaultInjector(f)
+	return ns.faults
+}
+
 // Emit sends one MP message down the wire. Frame size = MP wire size
 // plus a nominal 42-byte Ethernet+IP+UDP header.
 func (ns *NetworkSounder) Emit(m Message) {
 	ns.id++
 	ns.Sent++
-	ns.port.Send(&netsim.Packet{
+	payload, delivered := ns.faults.Mangle(Marshal(m))
+	if !delivered {
+		ns.Dropped++
+		return
+	}
+	pkt := &netsim.Packet{
 		ID:        ns.id,
 		Flow:      ns.Flow,
 		Size:      WireSize + 42,
 		CreatedAt: ns.sim.Now(),
-		Payload:   Marshal(m),
-	})
+		Payload:   payload,
+	}
+	if j := ns.faults.Jitter(); j > 0 {
+		ns.sim.After(j, func() { ns.port.Send(pkt) })
+		return
+	}
+	ns.port.Send(pkt)
 }
 
 // AttachPi makes a host decode arriving MP payloads into the Pi.

@@ -33,13 +33,17 @@ func NewPi(sim *netsim.Sim, speaker *acoustic.Speaker, linkDelay float64) *Pi {
 // Handle plays one decoded message: the tone starts LinkDelay after
 // the current simulation time. Invalid messages are dropped and
 // counted, like a defensive firmware would.
-func (p *Pi) Handle(m Message) {
+func (p *Pi) Handle(m Message) { p.HandleAfter(m, 0) }
+
+// HandleAfter is Handle with extra seconds of delay before the tone
+// starts — the hook fault injection uses for latency jitter.
+func (p *Pi) HandleAfter(m Message, extra float64) {
 	if err := m.Validate(); err != nil {
 		p.Rejected++
 		return
 	}
 	p.Played++
-	p.Speaker.Play(p.sim.Now()+p.LinkDelay, audio.Tone{
+	p.Speaker.Play(p.sim.Now()+p.LinkDelay+extra, audio.Tone{
 		Frequency: m.Frequency,
 		Duration:  m.Duration,
 		Amplitude: acoustic.SPLToAmplitude(m.Intensity),
@@ -50,28 +54,49 @@ func (p *Pi) Handle(m Message) {
 // paper added to the Zodiac FX. Emit marshals the message to the wire
 // format, "transmits" it, and the Pi decodes and plays it — so every
 // tone in every experiment exercises the byte-accurate protocol path.
+// InjectFaults arms deterministic wire faults on the hop.
 type Sounder struct {
-	pi *Pi
+	pi     *Pi
+	faults *netsim.FaultInjector
+
 	// SentBytes counts wire bytes pushed to the Pi.
 	SentBytes uint64
+	// Dropped counts messages lost whole to injected faults.
+	Dropped uint64
+	// Corrupted counts messages the Pi-side decoder rejected after
+	// injected corruption (or an unencodable field such as NaN, which
+	// the strict decoder likewise refuses).
+	Corrupted uint64
 }
 
 // NewSounder wires a switch-side sender to its Pi.
 func NewSounder(pi *Pi) *Sounder { return &Sounder{pi: pi} }
 
+// InjectFaults arms wire-fault injection on the switch→Pi hop and
+// returns the injector so callers can read its counters.
+func (s *Sounder) InjectFaults(f netsim.Faults) *netsim.FaultInjector {
+	s.faults = netsim.NewFaultInjector(f)
+	return s.faults
+}
+
 // Emit sends one MP message to the Pi. Malformed messages are dropped
-// at the Pi (see Pi.Rejected); wire corruption would surface as an
-// unmarshal error, which cannot happen on this loss-free hop.
+// at the Pi (see Pi.Rejected); wire bytes the decoder rejects — from
+// injected corruption or unencodable fields — are counted in
+// Corrupted and dropped, never a panic.
 func (s *Sounder) Emit(m Message) {
 	wire := Marshal(m)
 	s.SentBytes += uint64(len(wire))
+	wire, delivered := s.faults.Mangle(wire)
+	if !delivered {
+		s.Dropped++
+		return
+	}
 	decoded, err := Unmarshal(wire)
 	if err != nil {
-		// A marshal/unmarshal mismatch is a protocol bug, not an
-		// operational condition.
-		panic("mp: wire round-trip failed: " + err.Error())
+		s.Corrupted++
+		return
 	}
-	s.pi.Handle(decoded)
+	s.pi.HandleAfter(decoded, s.faults.Jitter())
 }
 
 // Pi returns the attached Pi.

@@ -25,9 +25,17 @@ type Server struct {
 }
 
 // Serve accepts connections on ln until Close. It returns nil after a
-// clean Close, or the accept error otherwise.
+// clean Close, or the accept error otherwise. Serve on an already
+// closed server closes ln and returns nil immediately.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
+	if s.closed {
+		// Close already ran (or is running): it cannot see this
+		// listener, so close it here instead of accepting forever.
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
 	s.ln = ln
 	s.mu.Unlock()
 	for {

@@ -62,6 +62,11 @@ const (
 	ActionHashSplit
 )
 
+// Valid reports whether k is a defined action kind. The wire codecs
+// reject anything else, so a flipped byte cannot install a rule whose
+// action silently falls through to drop.
+func (k ActionKind) Valid() bool { return k >= ActionDrop && k <= ActionHashSplit }
+
 // String names the action kind.
 func (k ActionKind) String() string {
 	switch k {
@@ -250,12 +255,15 @@ func (s *Switch) scheduleEviction(r *Rule) {
 }
 
 // RemoveRules deletes every rule matching the predicate and returns
-// how many were removed.
+// how many were removed. Removed rules are marked evicted so any
+// pending timeout check terminates instead of re-arming forever on a
+// rule that is no longer in the table.
 func (s *Switch) RemoveRules(pred func(*Rule) bool) int {
 	kept := s.table[:0]
 	removed := 0
 	for _, r := range s.table {
 		if pred(r) {
+			r.evicted = true
 			removed++
 		} else {
 			kept = append(kept, r)

@@ -96,3 +96,74 @@ func TestManualRemoveBeforeTimeoutIsSafe(t *testing.T) {
 		t.Error("table should stay empty")
 	}
 }
+
+// Regression: RemoveRules (the FlowDelete path) used to leave removed
+// idle-timeout rules un-evicted, so each scheduleEviction closure
+// re-armed forever and the event heap grew without bound in long runs.
+func TestRemoveRulesStopsEvictionTimerChain(t *testing.T) {
+	sim, _, s, h2, _ := star(t, false)
+	r := s.InstallRule(Rule{
+		Priority: 1, Match: Match{Dst: h2.Addr}, Action: Output(2),
+		IdleTimeout: 1,
+	})
+	s.RemoveRules(func(x *Rule) bool { return x == r })
+	if !r.Evicted() {
+		t.Fatal("removed rule not marked evicted")
+	}
+	// The one armed check fires at t=1 and must terminate the chain:
+	// no events may remain, however far the clock advances.
+	sim.RunUntil(1000)
+	if n := sim.Pending(); n != 0 {
+		t.Errorf("%d eviction events still pending after removal", n)
+	}
+}
+
+func TestFaultInjectorDeterministicAndBounded(t *testing.T) {
+	mangle := func(seed int64) ([]int, uint64, uint64, uint64) {
+		inj := NewFaultInjector(Faults{DropProb: 0.2, FlipProb: 0.4, TruncProb: 0.3, Seed: seed})
+		var lens []int
+		for i := 0; i < 200; i++ {
+			msg := make([]byte, 40)
+			out, ok := inj.Mangle(msg)
+			if !ok {
+				lens = append(lens, -1)
+				continue
+			}
+			if len(out) > len(msg) {
+				t.Fatalf("mangle grew the message: %d > %d", len(out), len(msg))
+			}
+			for _, b := range msg {
+				if b != 0 {
+					t.Fatal("mangle modified the caller's buffer")
+				}
+			}
+			lens = append(lens, len(out))
+		}
+		return lens, inj.Dropped, inj.Flipped, inj.Truncated
+	}
+	l1, d1, f1, t1 := mangle(5)
+	l2, d2, f2, t2 := mangle(5)
+	if d1 != d2 || f1 != f2 || t1 != t2 {
+		t.Errorf("same seed diverged: %d/%d/%d vs %d/%d/%d", d1, f1, t1, d2, f2, t2)
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("mangle %d: len %d vs %d", i, l1[i], l2[i])
+		}
+	}
+	if d1 == 0 || f1 == 0 || t1 == 0 {
+		t.Errorf("faults not exercised: %d/%d/%d", d1, f1, t1)
+	}
+}
+
+func TestNilFaultInjectorPassesThrough(t *testing.T) {
+	var inj *FaultInjector
+	msg := []byte{1, 2, 3}
+	out, ok := inj.Mangle(msg)
+	if !ok || &out[0] != &msg[0] {
+		t.Error("nil injector must pass the message through untouched")
+	}
+	if inj.Jitter() != 0 {
+		t.Error("nil injector must add no jitter")
+	}
+}

@@ -12,15 +12,26 @@ import (
 // format, unmarshalled at the switch side, and applied after the
 // latency elapses — so experiments account for rule-installation
 // delay just as the paper's OpenFlow channel does.
+//
+// InjectFaults arms deterministic wire faults (bit flips, truncation,
+// drops, latency jitter) so experiments can measure control-plane
+// degradation: a mangled Flow-MOD is rejected by the strict codec at
+// the switch side and counted, never applied.
 type Channel struct {
 	// Latency is the one-way control latency in seconds.
 	Latency float64
 
-	sim *netsim.Sim
-	sw  *netsim.Switch
+	sim    *netsim.Sim
+	sw     *netsim.Switch
+	faults *netsim.FaultInjector
 
 	// SentFlowMods counts Flow-MODs pushed through the channel.
 	SentFlowMods uint64
+	// DroppedFlowMods counts Flow-MODs lost whole to injected faults.
+	DroppedFlowMods uint64
+	// CorruptedFlowMods counts Flow-MODs the switch-side codec
+	// rejected after injected corruption.
+	CorruptedFlowMods uint64
 }
 
 // NewChannel attaches a control channel to a switch.
@@ -31,20 +42,50 @@ func NewChannel(sim *netsim.Sim, sw *netsim.Switch, latency float64) *Channel {
 // Switch returns the attached switch.
 func (c *Channel) Switch() *netsim.Switch { return c.sw }
 
+// InjectFaults arms wire-fault injection on the channel and returns
+// the injector so callers can read its counters. A zero Faults value
+// effectively disables injection again.
+func (c *Channel) InjectFaults(f netsim.Faults) *netsim.FaultInjector {
+	c.faults = netsim.NewFaultInjector(f)
+	return c.faults
+}
+
 // SendFlowMod transmits the Flow-MOD; it takes effect at the switch
-// after the channel latency. The message round-trips through the wire
-// format so marshalling bugs surface in every experiment.
+// after the channel latency (plus any injected jitter). The message
+// round-trips through the wire format so marshalling bugs surface in
+// every experiment. Unencodable messages return an error; messages
+// lost to injected faults are counted, not errors — that loss is the
+// phenomenon fault experiments measure.
 func (c *Channel) SendFlowMod(m FlowMod) error {
-	wire := MarshalFlowMod(m)
+	wire, err := MarshalFlowMod(m)
+	if err != nil {
+		return fmt.Errorf("openflow: flow-mod: %w", err)
+	}
+	c.SentFlowMods++
+	wire, delivered := c.faults.Mangle(wire)
+	if !delivered {
+		c.DroppedFlowMods++
+		return nil
+	}
 	decoded, _, err := Unmarshal(wire)
 	if err != nil {
+		if c.faults != nil {
+			c.CorruptedFlowMods++
+			return nil
+		}
 		return fmt.Errorf("openflow: flow-mod failed wire round-trip: %w", err)
 	}
 	fm, ok := decoded.(FlowMod)
 	if !ok {
+		// Corruption can re-frame the bytes as another message type;
+		// the switch rejects it as an unexpected message.
+		if c.faults != nil {
+			c.CorruptedFlowMods++
+			return nil
+		}
 		return fmt.Errorf("%w: flow-mod decoded as %T", ErrBadMessage, decoded)
 	}
-	c.SentFlowMods++
-	c.sim.After(c.Latency, func() { fm.Apply(c.sw) })
+	delay := c.Latency + c.faults.Jitter()
+	c.sim.After(delay, func() { fm.Apply(c.sw) })
 	return nil
 }

@@ -1,0 +1,48 @@
+package openflow
+
+import (
+	"bytes"
+	"testing"
+
+	"mdn/internal/netsim"
+)
+
+// FuzzUnmarshal drives arbitrary bytes through both the flat codec and
+// the streaming decoder: neither may panic, and anything that decodes
+// must survive a marshal→unmarshal round trip unchanged.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x0F, 0x4D, 1, 0, 0})
+	f.Add(must(MarshalFlowMod(FlowMod{Command: FlowAdd, Priority: 7, Match: netsim.Match{DstPort: 80}, Action: netsim.Split(1, 2), IdleTimeout: 1.5})))
+	f.Add(must(MarshalPacketIn(PacketIn{Switch: "zodiac", InPort: 3, Size: 1500})))
+	f.Add(must(MarshalPortStatus(PortStatus{Switch: "s1", Port: 2, Up: true})))
+	corrupt := must(MarshalFlowMod(FlowMod{Command: FlowAdd, Action: netsim.Output(4)}))
+	corrupt[headerLen+5+matchLen+16] = 0xEE // action kind
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, n, err := Unmarshal(data)
+		if err == nil {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("consumed %d of %d", n, len(data))
+			}
+			reWire, mErr := Marshal(msg)
+			if mErr != nil {
+				t.Fatalf("decoded message does not re-marshal: %v", mErr)
+			}
+			if !bytes.Equal(reWire, data[:n]) {
+				t.Fatalf("round trip diverged:\n in  %x\n out %x", data[:n], reWire)
+			}
+		}
+		// The streaming decoder must terminate and never panic on the
+		// same bytes, whatever the corruption.
+		dec := NewDecoder(bytes.NewReader(data))
+		for {
+			if _, err := dec.Decode(); err != nil {
+				break
+			}
+		}
+		if skipped := dec.SkippedBytes; skipped > uint64(len(data)) {
+			t.Fatalf("skipped %d of %d bytes", skipped, len(data))
+		}
+	})
+}

@@ -117,10 +117,69 @@ func (m FlowMod) Apply(sw *netsim.Switch) *netsim.Rule {
 // Integers are big-endian, network order.
 const magic = 0x0F4D
 
-// ErrBadMessage reports a malformed control message.
+// Wire-format limits. Fields that cannot fit are a marshal error —
+// never a silent truncating cast, which would emit desynced garbage
+// the peer misparses.
+const (
+	// MaxNameLen is the longest switch name the one-byte length prefix
+	// carries.
+	MaxNameLen = 255
+	// MaxActionPorts is the most ports one action can list on the wire.
+	MaxActionPorts = 255
+	// MaxPayload is the largest payload the 16-bit length field frames.
+	MaxPayload = 1<<16 - 1
+	// maxPort keeps port numbers inside int32 so they survive the
+	// uint32 wire field on every platform.
+	maxPort = 1<<31 - 1
+)
+
+// ErrBadMessage reports a control message that cannot be decoded (or
+// encoded): corrupt framing, an unknown type, command, or action kind,
+// or field values outside their domain.
 var ErrBadMessage = errors.New("openflow: malformed message")
 
+// ErrTooLarge reports a message field that exceeds a wire-format limit
+// and would previously have been silently truncated.
+var ErrTooLarge = errors.New("openflow: field exceeds wire-format limit")
+
 const headerLen = 5
+
+// checkAddr accepts the zero Addr (wildcard) and IPv4/IPv4-in-6
+// addresses; anything else cannot ride the 4-byte wire field.
+func checkAddr(a netip.Addr) error {
+	if a.IsValid() && !a.Is4() && !a.Is4In6() {
+		return fmt.Errorf("%w: address %s is not IPv4", ErrBadMessage, a)
+	}
+	return nil
+}
+
+func checkMatch(m netsim.Match) error {
+	if err := checkAddr(m.Src); err != nil {
+		return err
+	}
+	if err := checkAddr(m.Dst); err != nil {
+		return err
+	}
+	if m.InPort < 0 || m.InPort > maxPort {
+		return fmt.Errorf("%w: in-port %d outside [0, %d]", ErrBadMessage, m.InPort, maxPort)
+	}
+	return nil
+}
+
+func checkName(name string) error {
+	if len(name) > MaxNameLen {
+		return fmt.Errorf("%w: switch name %d bytes, max %d", ErrTooLarge, len(name), MaxNameLen)
+	}
+	return nil
+}
+
+// checkTimeout rejects values no rule can honour: negative, NaN, Inf.
+func checkTimeout(which string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return fmt.Errorf("%w: %s timeout %g", ErrBadMessage, which, v)
+	}
+	return nil
+}
 
 func putAddr(dst []byte, a netip.Addr) {
 	if a.IsValid() {
@@ -160,8 +219,41 @@ func unmarshalMatch(src []byte) netsim.Match {
 
 const matchLen = 17
 
-// MarshalFlowMod encodes a Flow-MOD.
-func MarshalFlowMod(m FlowMod) []byte {
+// Validate checks the Flow-MOD against the wire format's limits and
+// field domains; Marshal refuses anything Validate rejects.
+func (m FlowMod) Validate() error {
+	if m.Command != FlowAdd && m.Command != FlowDelete {
+		return fmt.Errorf("%w: unknown flow-mod command %d", ErrBadMessage, m.Command)
+	}
+	if err := checkMatch(m.Match); err != nil {
+		return err
+	}
+	if err := checkTimeout("idle", m.IdleTimeout); err != nil {
+		return err
+	}
+	if err := checkTimeout("hard", m.HardTimeout); err != nil {
+		return err
+	}
+	if !m.Action.Kind.Valid() {
+		return fmt.Errorf("%w: unknown action kind %d", ErrBadMessage, m.Action.Kind)
+	}
+	if len(m.Action.Ports) > MaxActionPorts {
+		return fmt.Errorf("%w: %d action ports, max %d", ErrTooLarge, len(m.Action.Ports), MaxActionPorts)
+	}
+	for _, p := range m.Action.Ports {
+		if p < 0 || p > maxPort {
+			return fmt.Errorf("%w: action port %d outside [0, %d]", ErrBadMessage, p, maxPort)
+		}
+	}
+	return nil
+}
+
+// MarshalFlowMod encodes a Flow-MOD, or reports why it cannot ride the
+// wire format.
+func MarshalFlowMod(m FlowMod) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
 	payload := make([]byte, 1+4+matchLen+16+1+1+len(m.Action.Ports)*4)
 	payload[0] = byte(m.Command)
 	binary.BigEndian.PutUint32(payload[1:5], uint32(m.Priority))
@@ -178,8 +270,23 @@ func MarshalFlowMod(m FlowMod) []byte {
 	return frame(TypeFlowMod, payload)
 }
 
-// MarshalPacketIn encodes a Packet-In.
-func MarshalPacketIn(p PacketIn) []byte {
+// Validate checks the Packet-In against the wire format's limits.
+func (p PacketIn) Validate() error {
+	if err := checkName(p.Switch); err != nil {
+		return err
+	}
+	if err := checkAddr(p.Flow.Src); err != nil {
+		return err
+	}
+	return checkAddr(p.Flow.Dst)
+}
+
+// MarshalPacketIn encodes a Packet-In, or reports why it cannot ride
+// the wire format.
+func MarshalPacketIn(p PacketIn) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	name := []byte(p.Switch)
 	payload := make([]byte, 1+len(name)+4+matchLen+4)
 	payload[0] = byte(len(name))
@@ -196,8 +303,17 @@ func MarshalPacketIn(p PacketIn) []byte {
 	return frame(TypePacketIn, payload)
 }
 
-// MarshalPortStatus encodes a Port-Status.
-func MarshalPortStatus(p PortStatus) []byte {
+// Validate checks the Port-Status against the wire format's limits.
+func (p PortStatus) Validate() error {
+	return checkName(p.Switch)
+}
+
+// MarshalPortStatus encodes a Port-Status, or reports why it cannot
+// ride the wire format.
+func MarshalPortStatus(p PortStatus) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	name := []byte(p.Switch)
 	payload := make([]byte, 1+len(name)+4+1)
 	payload[0] = byte(len(name))
@@ -210,13 +326,37 @@ func MarshalPortStatus(p PortStatus) []byte {
 	return frame(TypePortStatus, payload)
 }
 
-func frame(t MessageType, payload []byte) []byte {
+// Marshal encodes any control message (FlowMod, PacketIn, or
+// PortStatus).
+func Marshal(msg interface{}) ([]byte, error) {
+	switch m := msg.(type) {
+	case FlowMod:
+		return MarshalFlowMod(m)
+	case *FlowMod:
+		return MarshalFlowMod(*m)
+	case PacketIn:
+		return MarshalPacketIn(m)
+	case *PacketIn:
+		return MarshalPacketIn(*m)
+	case PortStatus:
+		return MarshalPortStatus(m)
+	case *PortStatus:
+		return MarshalPortStatus(*m)
+	default:
+		return nil, fmt.Errorf("%w: cannot marshal %T", ErrBadMessage, msg)
+	}
+}
+
+func frame(t MessageType, payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: payload %d bytes, max %d", ErrTooLarge, len(payload), MaxPayload)
+	}
 	out := make([]byte, headerLen+len(payload))
 	binary.BigEndian.PutUint16(out[0:2], magic)
 	out[2] = byte(t)
 	binary.BigEndian.PutUint16(out[3:5], uint16(len(payload)))
 	copy(out[headerLen:], payload)
-	return out
+	return out, nil
 }
 
 // Unmarshal decodes one framed message, returning the decoded value
@@ -245,22 +385,33 @@ func Unmarshal(b []byte) (interface{}, int, error) {
 			Priority: int32(binary.BigEndian.Uint32(payload[1:5])),
 			Match:    unmarshalMatch(payload[5:]),
 		}
+		if m.Command != FlowAdd && m.Command != FlowDelete {
+			return nil, 0, fmt.Errorf("%w: unknown flow-mod command %d", ErrBadMessage, m.Command)
+		}
+		if m.Match.InPort > maxPort {
+			return nil, 0, fmt.Errorf("%w: match in-port outside [0, %d]", ErrBadMessage, maxPort)
+		}
 		off := 5 + matchLen
 		m.IdleTimeout = math.Float64frombits(binary.BigEndian.Uint64(payload[off:]))
 		m.HardTimeout = math.Float64frombits(binary.BigEndian.Uint64(payload[off+8:]))
-		if math.IsNaN(m.IdleTimeout) || math.IsNaN(m.HardTimeout) ||
-			m.IdleTimeout < 0 || m.HardTimeout < 0 {
+		if checkTimeout("idle", m.IdleTimeout) != nil || checkTimeout("hard", m.HardTimeout) != nil {
 			return nil, 0, fmt.Errorf("%w: bad flow-mod timeouts", ErrBadMessage)
 		}
 		off += 16
 		m.Action.Kind = netsim.ActionKind(payload[off])
+		if !m.Action.Kind.Valid() {
+			return nil, 0, fmt.Errorf("%w: unknown action kind %d", ErrBadMessage, payload[off])
+		}
 		np := int(payload[off+1])
-		if len(payload) < off+2+np*4 {
-			return nil, 0, fmt.Errorf("%w: short flow-mod ports", ErrBadMessage)
+		if len(payload) != off+2+np*4 {
+			return nil, 0, fmt.Errorf("%w: flow-mod ports length mismatch", ErrBadMessage)
 		}
 		for i := 0; i < np; i++ {
-			m.Action.Ports = append(m.Action.Ports,
-				int(binary.BigEndian.Uint32(payload[off+2+i*4:])))
+			port := binary.BigEndian.Uint32(payload[off+2+i*4:])
+			if port > maxPort {
+				return nil, 0, fmt.Errorf("%w: action port %d outside [0, %d]", ErrBadMessage, port, maxPort)
+			}
+			m.Action.Ports = append(m.Action.Ports, int(port))
 		}
 		return m, total, nil
 	case TypePacketIn:
@@ -268,14 +419,20 @@ func Unmarshal(b []byte) (interface{}, int, error) {
 			return nil, 0, fmt.Errorf("%w: short packet-in", ErrBadMessage)
 		}
 		nameLen := int(payload[0])
-		if len(payload) < 1+nameLen+4+matchLen+4 {
-			return nil, 0, fmt.Errorf("%w: short packet-in", ErrBadMessage)
+		if len(payload) != 1+nameLen+4+matchLen+4 {
+			return nil, 0, fmt.Errorf("%w: packet-in length mismatch", ErrBadMessage)
 		}
 		p := PacketIn{Switch: string(payload[1 : 1+nameLen])}
 		off := 1 + nameLen
 		p.InPort = int32(binary.BigEndian.Uint32(payload[off:]))
 		off += 4
 		m := unmarshalMatch(payload[off:])
+		if m.InPort != 0 {
+			// The embedded match's in-port slot is reserved (the
+			// packet's ingress rides the dedicated InPort field);
+			// nonzero bytes mean corruption.
+			return nil, 0, fmt.Errorf("%w: packet-in reserved in-port bytes", ErrBadMessage)
+		}
 		p.Flow = netsim.FiveTuple{Src: m.Src, Dst: m.Dst, SrcPort: m.SrcPort, DstPort: m.DstPort, Proto: m.Proto}
 		off += matchLen
 		p.Size = int32(binary.BigEndian.Uint32(payload[off:]))
@@ -285,13 +442,20 @@ func Unmarshal(b []byte) (interface{}, int, error) {
 			return nil, 0, fmt.Errorf("%w: short port-status", ErrBadMessage)
 		}
 		nameLen := int(payload[0])
-		if len(payload) < 1+nameLen+5 {
-			return nil, 0, fmt.Errorf("%w: short port-status", ErrBadMessage)
+		if len(payload) != 1+nameLen+5 {
+			return nil, 0, fmt.Errorf("%w: port-status length mismatch", ErrBadMessage)
 		}
 		p := PortStatus{Switch: string(payload[1 : 1+nameLen])}
 		off := 1 + nameLen
 		p.Port = int32(binary.BigEndian.Uint32(payload[off:]))
-		p.Up = payload[off+4] == 1
+		switch payload[off+4] {
+		case 0:
+			p.Up = false
+		case 1:
+			p.Up = true
+		default:
+			return nil, 0, fmt.Errorf("%w: port-status state byte %d", ErrBadMessage, payload[off+4])
+		}
 		return p, total, nil
 	default:
 		return nil, 0, fmt.Errorf("%w: unknown type %d", ErrBadMessage, t)

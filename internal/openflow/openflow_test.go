@@ -1,12 +1,25 @@
 package openflow
 
 import (
+	"encoding/binary"
 	"errors"
+	"math"
+	"math/rand"
+	"net/netip"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"mdn/internal/netsim"
 )
+
+// must unwraps a marshal result; tests fail via the panic.
+func must(wire []byte, err error) []byte {
+	if err != nil {
+		panic(err)
+	}
+	return wire
+}
 
 func sampleMatch() netsim.Match {
 	return netsim.Match{
@@ -26,7 +39,10 @@ func TestFlowModRoundTrip(t *testing.T) {
 		Match:    sampleMatch(),
 		Action:   netsim.Split(2, 3, 7),
 	}
-	wire := MarshalFlowMod(in)
+	wire, err := MarshalFlowMod(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out, n, err := Unmarshal(wire)
 	if err != nil {
 		t.Fatal(err)
@@ -48,7 +64,7 @@ func TestFlowModRoundTrip(t *testing.T) {
 
 func TestFlowModWildcardsRoundTrip(t *testing.T) {
 	in := FlowMod{Command: FlowDelete, Priority: 1, Action: netsim.Drop()}
-	out, _, err := Unmarshal(MarshalFlowMod(in))
+	out, _, err := Unmarshal(must(MarshalFlowMod(in)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +87,7 @@ func TestPacketInRoundTrip(t *testing.T) {
 		},
 		Size: 1500,
 	}
-	out, _, err := Unmarshal(MarshalPacketIn(in))
+	out, _, err := Unmarshal(must(MarshalPacketIn(in)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +100,7 @@ func TestPacketInRoundTrip(t *testing.T) {
 func TestPortStatusRoundTrip(t *testing.T) {
 	for _, up := range []bool{true, false} {
 		in := PortStatus{Switch: "s1", Port: 4, Up: up}
-		out, _, err := Unmarshal(MarshalPortStatus(in))
+		out, _, err := Unmarshal(must(MarshalPortStatus(in)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,7 +134,11 @@ func TestFlowModPriorityRoundTripProperty(t *testing.T) {
 			Match:    netsim.Match{DstPort: dstPort, Proto: proto},
 			Action:   netsim.Output(int(dstPort) % 8),
 		}
-		out, _, err := Unmarshal(MarshalFlowMod(in))
+		wire, err := MarshalFlowMod(in)
+		if err != nil {
+			return false
+		}
+		out, _, err := Unmarshal(wire)
 		if err != nil {
 			return false
 		}
@@ -188,7 +208,7 @@ func TestFlowModTimeoutsRoundTrip(t *testing.T) {
 		IdleTimeout: 2.5,
 		HardTimeout: 30,
 	}
-	out, _, err := Unmarshal(MarshalFlowMod(in))
+	out, _, err := Unmarshal(must(MarshalFlowMod(in)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,8 +230,191 @@ func TestFlowModTimeoutsRoundTrip(t *testing.T) {
 }
 
 func TestFlowModRejectsNegativeTimeouts(t *testing.T) {
-	wire := MarshalFlowMod(FlowMod{Command: FlowAdd, IdleTimeout: -1})
-	if _, _, err := Unmarshal(wire); !errors.Is(err, ErrBadMessage) {
-		t.Errorf("negative timeout accepted: %v", err)
+	if _, err := MarshalFlowMod(FlowMod{Command: FlowAdd, IdleTimeout: -1}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("negative timeout marshalled: %v", err)
+	}
+	// And a forged wire frame carrying one must not decode either.
+	good := must(MarshalFlowMod(FlowMod{Command: FlowAdd, IdleTimeout: 1}))
+	off := headerLen + 5 + matchLen
+	binary.BigEndian.PutUint64(good[off:], math.Float64bits(-1))
+	if _, _, err := Unmarshal(good); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("negative timeout accepted on decode: %v", err)
+	}
+}
+
+// --- wire-format limit regressions: fields at and past each boundary ---
+
+func TestMarshalNameBoundary(t *testing.T) {
+	name255 := strings.Repeat("n", MaxNameLen)
+	wire := must(MarshalPacketIn(PacketIn{Switch: name255}))
+	out, _, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(PacketIn).Switch; got != name255 {
+		t.Errorf("255-byte name corrupted: %d bytes back", len(got))
+	}
+	if _, err := MarshalPacketIn(PacketIn{Switch: name255 + "x"}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("256-byte name: err = %v, want ErrTooLarge", err)
+	}
+	wire = must(MarshalPortStatus(PortStatus{Switch: name255, Port: 1}))
+	if out, _, err := Unmarshal(wire); err != nil || out.(PortStatus).Switch != name255 {
+		t.Errorf("port-status 255-byte name: %v", err)
+	}
+	if _, err := MarshalPortStatus(PortStatus{Switch: name255 + "x"}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("port-status 256-byte name: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestMarshalPortCountBoundary(t *testing.T) {
+	ports := make([]int, MaxActionPorts)
+	for i := range ports {
+		ports[i] = i + 1
+	}
+	in := FlowMod{Command: FlowAdd, Action: netsim.Split(ports...)}
+	out, _, err := Unmarshal(must(MarshalFlowMod(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(FlowMod).Action.Ports
+	if len(got) != MaxActionPorts || got[MaxActionPorts-1] != MaxActionPorts {
+		t.Errorf("255 ports corrupted: %d back", len(got))
+	}
+	in.Action = netsim.Split(append(ports, 256)...)
+	if _, err := MarshalFlowMod(in); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("256 ports: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestMarshalRejectsBadFields(t *testing.T) {
+	cases := []struct {
+		name string
+		m    FlowMod
+	}{
+		{"unknown command", FlowMod{Command: 9, Action: netsim.Drop()}},
+		{"unknown action kind", FlowMod{Command: FlowAdd, Action: netsim.Action{Kind: 99}}},
+		{"negative action kind", FlowMod{Command: FlowAdd, Action: netsim.Action{Kind: -1}}},
+		{"negative port", FlowMod{Command: FlowAdd, Action: netsim.Output(-1)}},
+		{"NaN timeout", FlowMod{Command: FlowAdd, Action: netsim.Drop(), IdleTimeout: math.NaN()}},
+		{"Inf timeout", FlowMod{Command: FlowAdd, Action: netsim.Drop(), HardTimeout: math.Inf(1)}},
+		{"negative in-port", FlowMod{Command: FlowAdd, Action: netsim.Drop(), Match: netsim.Match{InPort: -1}}},
+		{"IPv6 src", FlowMod{Command: FlowAdd, Action: netsim.Drop(),
+			Match: netsim.Match{Src: netip.MustParseAddr("2001:db8::1")}}},
+	}
+	for _, c := range cases {
+		if _, err := MarshalFlowMod(c.m); !errors.Is(err, ErrBadMessage) {
+			t.Errorf("%s: err = %v, want ErrBadMessage", c.name, err)
+		}
+	}
+	if _, err := MarshalPacketIn(PacketIn{Flow: netsim.FiveTuple{Dst: netip.MustParseAddr("::1")}}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("packet-in IPv6 dst: err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestUnmarshalRejectsCorruptFields(t *testing.T) {
+	flip := func(wire []byte, off int, v byte) []byte {
+		cp := append([]byte(nil), wire...)
+		cp[off] = v
+		return cp
+	}
+	fm := must(MarshalFlowMod(FlowMod{Command: FlowAdd, Action: netsim.Output(2)}))
+	kindOff := headerLen + 5 + matchLen + 16
+	cases := map[string][]byte{
+		"corrupt action kind":    flip(fm, kindOff, 99),
+		"corrupt command":        flip(fm, headerLen, 7),
+		"corrupt port count":     flip(fm, kindOff+1, 9), // length no longer matches
+		"trailing junk":          append(append([]byte(nil), fm...), 0xAA),
+		"corrupt up byte":        flip(must(MarshalPortStatus(PortStatus{Switch: "s", Port: 1})), headerLen+1+1+4, 2),
+		"packet-in name overrun": flip(must(MarshalPacketIn(PacketIn{Switch: "s"})), headerLen, 200),
+	}
+	for name, wire := range cases {
+		if name == "trailing junk" {
+			// The frame's own length field hides the junk from the
+			// payload, so patch the header length up instead.
+			binary.BigEndian.PutUint16(wire[3:5], uint16(len(wire)-headerLen))
+		}
+		if _, _, err := Unmarshal(wire); !errors.Is(err, ErrBadMessage) {
+			t.Errorf("%s: err = %v, want ErrBadMessage", name, err)
+		}
+	}
+}
+
+// --- randomized marshal→unmarshal equality for every message type ---
+
+func randAddr(rng *rand.Rand) netip.Addr {
+	if rng.Intn(4) == 0 {
+		return netip.Addr{} // wildcard
+	}
+	return netip.AddrFrom4([4]byte{10, byte(rng.Intn(256)), byte(rng.Intn(256)), 1 + byte(rng.Intn(255))})
+}
+
+func randMatch(rng *rand.Rand) netsim.Match {
+	return netsim.Match{
+		InPort:  rng.Intn(64),
+		Src:     randAddr(rng),
+		Dst:     randAddr(rng),
+		SrcPort: uint16(rng.Intn(1 << 16)),
+		DstPort: uint16(rng.Intn(1 << 16)),
+		Proto:   uint8(rng.Intn(256)),
+	}
+}
+
+func TestRandomizedRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		fm := FlowMod{
+			Command:     FlowModCommand(rng.Intn(2)),
+			Priority:    rng.Int31() - rng.Int31(),
+			Match:       randMatch(rng),
+			IdleTimeout: float64(rng.Intn(100)) / 10,
+			HardTimeout: float64(rng.Intn(1000)) / 10,
+		}
+		fm.Action.Kind = netsim.ActionKind(rng.Intn(6))
+		for j := rng.Intn(5); j > 0; j-- {
+			fm.Action.Ports = append(fm.Action.Ports, rng.Intn(1<<16))
+		}
+		out, n, err := Unmarshal(must(MarshalFlowMod(fm)))
+		if err != nil {
+			t.Fatalf("flow-mod %d: %v", i, err)
+		}
+		got := out.(FlowMod)
+		if got.Command != fm.Command || got.Priority != fm.Priority || got.Match != fm.Match ||
+			got.IdleTimeout != fm.IdleTimeout || got.HardTimeout != fm.HardTimeout ||
+			got.Action.Kind != fm.Action.Kind || len(got.Action.Ports) != len(fm.Action.Ports) {
+			t.Fatalf("flow-mod %d: got %+v want %+v", i, got, fm)
+		}
+		for j := range fm.Action.Ports {
+			if got.Action.Ports[j] != fm.Action.Ports[j] {
+				t.Fatalf("flow-mod %d port %d: %d != %d", i, j, got.Action.Ports[j], fm.Action.Ports[j])
+			}
+		}
+		_ = n
+
+		pi := PacketIn{
+			Switch: strings.Repeat("s", rng.Intn(MaxNameLen+1)),
+			InPort: rng.Int31(),
+			Flow: netsim.FiveTuple{
+				Src: randAddr(rng), Dst: randAddr(rng),
+				SrcPort: uint16(rng.Intn(1 << 16)), DstPort: uint16(rng.Intn(1 << 16)),
+				Proto: uint8(rng.Intn(256)),
+			},
+			Size: rng.Int31(),
+		}
+		out, _, err = Unmarshal(must(MarshalPacketIn(pi)))
+		if err != nil {
+			t.Fatalf("packet-in %d: %v", i, err)
+		}
+		if out.(PacketIn) != pi {
+			t.Fatalf("packet-in %d: got %+v want %+v", i, out, pi)
+		}
+
+		ps := PortStatus{Switch: pi.Switch, Port: rng.Int31(), Up: rng.Intn(2) == 1}
+		out, _, err = Unmarshal(must(MarshalPortStatus(ps)))
+		if err != nil {
+			t.Fatalf("port-status %d: %v", i, err)
+		}
+		if out.(PortStatus) != ps {
+			t.Fatalf("port-status %d: got %+v want %+v", i, out, ps)
+		}
 	}
 }
