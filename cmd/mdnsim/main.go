@@ -1,12 +1,16 @@
 // Command mdnsim runs a Music-Defined Networking deployment described
 // in a JSON scenario file: topology, applications, traffic, and room
-// noise. It prints a run report (text or JSON).
+// noise. It prints a run report (text or JSON). With -chaos it instead
+// runs the built-in chaos sweep: the four end-to-end pipelines under a
+// range of injected control-channel fault rates.
 //
 // Usage:
 //
 //	mdnsim -f scenarios/telemetry.json
 //	mdnsim -f scenario.json -json
 //	cat scenario.json | mdnsim
+//	mdnsim -chaos -seed 7
+//	mdnsim -chaos -chaos-drops 0,0.3 -chaos-duration 10 -json
 package main
 
 import (
@@ -15,16 +19,27 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"mdn/internal/scenario"
 )
 
 func main() {
 	var (
-		file    = flag.String("f", "", "scenario JSON file (default: stdin)")
-		jsonOut = flag.Bool("json", false, "emit the report as JSON")
+		file     = flag.String("f", "", "scenario JSON file (default: stdin)")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+		chaos    = flag.Bool("chaos", false, "run the chaos sweep instead of a scenario file")
+		drops    = flag.String("chaos-drops", "", "comma-separated drop probabilities to sweep (default 0,0.1,0.3,0.5)")
+		duration = flag.Float64("chaos-duration", 0, "simulated seconds per chaos point (default 30)")
+		seed     = flag.Int64("seed", 1, "chaos sweep seed")
 	)
 	flag.Parse()
+
+	if *chaos {
+		runChaos(*seed, *drops, *duration, *jsonOut)
+		return
+	}
 
 	var in io.Reader = os.Stdin
 	if *file != "" {
@@ -54,6 +69,32 @@ func main() {
 	printReport(rep)
 }
 
+func runChaos(seed int64, drops string, duration float64, jsonOut bool) {
+	cfg := scenario.ChaosConfig{Seed: seed, DurationS: duration}
+	if drops != "" {
+		for _, s := range strings.Split(drops, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fatal(fmt.Errorf("parsing -chaos-drops: %w", err))
+			}
+			cfg.DropRates = append(cfg.DropRates, v)
+		}
+	}
+	rep, err := scenario.RunChaos(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(rep.Table())
+}
+
 func printReport(rep *scenario.Report) {
 	fmt.Printf("scenario %q: %.1f s simulated, %d capture windows, %d tone detections\n\n",
 		rep.Name, rep.DurationS, rep.WindowsAnalysed, rep.TonesDetected)
@@ -75,6 +116,18 @@ func printReport(rep *scenario.Report) {
 		}
 		if rest := len(a.Events) - shown; rest > 0 {
 			fmt.Printf("    ... and %d more\n", rest)
+		}
+	}
+	if h := rep.Health; h != nil {
+		fmt.Printf("\ncontroller health: %s", h.StateName)
+		if len(h.Reasons) > 0 {
+			fmt.Printf(" (%s)", strings.Join(h.Reasons, "; "))
+		}
+		fmt.Printf("\n  %d window(s), %d recovered panic(s), %d quarantined, %d error(s) logged\n",
+			h.Windows, h.HandlerPanics, len(h.Quarantined), h.ErrorsTotal)
+		for _, w := range h.Wire {
+			fmt.Printf("  wire %-8s %-8s sent %6d  dropped %5d  corrupted %5d\n",
+				w.Kind, w.Name, w.Sent, w.Dropped, w.Corrupted)
 		}
 	}
 }

@@ -39,6 +39,10 @@ type ArrayDetection struct {
 }
 
 // NewMicArray builds an array over the given microphones.
+//
+// Constructor invariant (documented panic): an array needs at least
+// one microphone; zero is a configuration bug and panics at
+// construction time.
 func NewMicArray(sim *netsim.Sim, det *Detector, mics ...*acoustic.Microphone) *MicArray {
 	if len(mics) == 0 {
 		panic("core: MicArray requires at least one microphone")

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"mdn/internal/acoustic"
 	"mdn/internal/netsim"
 )
@@ -10,25 +12,49 @@ import (
 // detections out to subscribed applications. It can coexist with (or
 // replace) a conventional SDN controller — applications that need to
 // program switches hold openflow channels of their own.
+//
+// The fan-out is supervised: every subscriber runs inside a recover
+// barrier, a subscriber that panics repeatedly is quarantined (see
+// QuarantineThreshold), and the controller's liveness, error rates,
+// and wire-fault counters roll up into the Health snapshot.
 type Controller struct {
 	// Window is the capture/analysis window in seconds. The paper
 	// processes ~50 ms samples (Figure 2b).
 	Window float64
 	// Detector analyses each window.
 	Detector *Detector
+	// QuarantineThreshold is how many consecutive panics disable a
+	// subscriber (0 means DefaultQuarantineThreshold). A window that
+	// completes without panicking resets the count.
+	QuarantineThreshold int
+	// Errors collects application and subscriber failures; it feeds
+	// the health state machine. Applications deployed by a Manager
+	// share it.
+	Errors *ErrorLog
 
 	sim    *netsim.Sim
 	mic    *acoustic.Microphone
 	ticker *netsim.Ticker
 
-	handlers      []func(Detection)
-	batchHandlers []func(window float64, dets []Detection)
+	// mu guards the subscriber list so registration is safe from any
+	// goroutine, at any time — including while the poll loop runs.
+	// Everything else on the controller belongs to the simulation
+	// goroutine.
+	mu       sync.Mutex
+	subs     []*subscriber
+	autoName int
+
+	started bool
+	startAt float64
+	health  healthInputs
 
 	// Windows counts analysed windows.
 	Windows uint64
 	// Detections counts tones seen (per window, before any onset
 	// filtering).
 	Detections uint64
+	// HandlerPanics counts recovered subscriber panics.
+	HandlerPanics uint64
 }
 
 // DefaultWindow is the controller's default capture window: 50 ms,
@@ -40,20 +66,37 @@ func NewController(sim *netsim.Sim, mic *acoustic.Microphone, det *Detector) *Co
 	return &Controller{
 		Window:   DefaultWindow,
 		Detector: det,
+		Errors:   NewErrorLog(),
 		sim:      sim,
 		mic:      mic,
 	}
 }
 
-// Subscribe registers a per-detection handler.
+// Subscribe registers a per-detection handler under an auto-generated
+// name. Registration is safe from any goroutine, before or after
+// Start; a handler registered mid-run sees windows beginning with the
+// next one.
 func (c *Controller) Subscribe(fn func(Detection)) {
-	c.handlers = append(c.handlers, fn)
+	c.SubscribeNamed("", fn)
+}
+
+// SubscribeNamed registers a per-detection handler under an explicit
+// name, which identifies it in Health reports and quarantine lists.
+func (c *Controller) SubscribeNamed(name string, fn func(Detection)) {
+	c.addSubscriber(&subscriber{name: name, onDet: fn})
 }
 
 // SubscribeWindows registers a per-window handler receiving the whole
-// detection batch (possibly empty) — what onset filters need.
+// detection batch (possibly empty) — what onset filters need. Like
+// Subscribe, it is safe from any goroutine at any time.
 func (c *Controller) SubscribeWindows(fn func(windowStart float64, dets []Detection)) {
-	c.batchHandlers = append(c.batchHandlers, fn)
+	c.SubscribeWindowsNamed("", fn)
+}
+
+// SubscribeWindowsNamed registers a per-window handler under an
+// explicit name.
+func (c *Controller) SubscribeWindowsNamed(name string, fn func(windowStart float64, dets []Detection)) {
+	c.addSubscriber(&subscriber{name: name, onWin: fn})
 }
 
 // Start begins polling at time at (the first analysed window is
@@ -63,6 +106,9 @@ func (c *Controller) Start(at float64) {
 	if c.ticker != nil {
 		c.ticker.Stop()
 	}
+	c.started = true
+	c.startAt = at
+	c.health.lastWindowEnd = at
 	// The window ending at tick time t covers [t-Window, t): all
 	// emissions overlapping it were scheduled by events at earlier
 	// sim times, so capture is complete and causal.
@@ -71,12 +117,14 @@ func (c *Controller) Start(at float64) {
 	})
 }
 
-// Stop halts polling.
+// Stop halts polling. A stopped controller is idle, not stalled, in
+// its Health snapshot.
 func (c *Controller) Stop() {
 	if c.ticker != nil {
 		c.ticker.Stop()
 		c.ticker = nil
 	}
+	c.started = false
 }
 
 func (c *Controller) analyse(from, to float64) {
@@ -84,12 +132,21 @@ func (c *Controller) analyse(from, to float64) {
 	dets := c.Detector.Detect(buf, from)
 	c.Windows++
 	c.Detections += uint64(len(dets))
-	for _, h := range c.batchHandlers {
-		h(from, dets)
+	c.noteWindow(to, dets)
+	subs := c.snapshotSubs()
+	for _, s := range subs {
+		if s.onWin != nil {
+			s := s
+			c.invoke(s, func() { s.onWin(from, dets) })
+		}
 	}
 	for _, det := range dets {
-		for _, h := range c.handlers {
-			h(det)
+		det := det
+		for _, s := range subs {
+			if s.onDet != nil {
+				s := s
+				c.invoke(s, func() { s.onDet(det) })
+			}
 		}
 	}
 }

@@ -49,7 +49,12 @@ type slotOwner struct {
 const DefaultStride = 4
 
 // NewFrequencyPlan creates a plan over [minHz, maxHz] with the given
-// slot spacing. It panics on non-physical parameters.
+// slot spacing.
+//
+// Constructor invariant (documented panic): non-physical parameters —
+// a non-positive band edge or spacing, or maxHz ≤ minHz — are a
+// configuration bug and panic at construction time. No post-
+// construction method panics.
 func NewFrequencyPlan(minHz, maxHz, spacing float64) *FrequencyPlan {
 	if minHz <= 0 || maxHz <= minHz || spacing <= 0 {
 		panic("core: invalid frequency plan parameters")
@@ -126,12 +131,16 @@ func (p *FrequencyPlan) AllocateSpaced(name string, n, stride int) ([]float64, e
 	return out, nil
 }
 
-// MustAllocate is Allocate for setup code where failure is a
-// configuration bug.
+// MustAllocate is Allocate for deployment-setup code where failure is
+// a configuration bug.
+//
+// Constructor invariant (documented panic): it panics when the plan
+// rejects the allocation. Runtime code paths must use Allocate (or
+// AllocateSpaced) and handle the error.
 func (p *FrequencyPlan) MustAllocate(name string, n int) []float64 {
 	out, err := p.Allocate(name, n)
 	if err != nil {
-		panic(err)
+		panic("core: MustAllocate: " + err.Error())
 	}
 	return out
 }

@@ -91,6 +91,9 @@ func (f *FSM) Step(symbol string) string {
 
 // SequenceFSM builds the linear machine that accepts exactly the
 // given symbol sequence — the shape port knocking needs.
+//
+// Constructor invariant (documented panic): an empty sequence is a
+// configuration bug and panics at construction time.
 func SequenceFSM(symbols []string) *FSM {
 	if len(symbols) == 0 {
 		panic("core: SequenceFSM requires at least one symbol")

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"mdn/internal/openflow"
 )
 
@@ -9,6 +11,11 @@ import (
 // hearing it, sends the Flow-MOD that splits traffic across two
 // ports (Figure 5a-b). The entire control loop is out-of-band: the
 // only signal from switch to controller is sound.
+//
+// Flow programming goes through a retrying openflow.Programmer, so a
+// lossy control channel costs latency, not correctness; terminal
+// failures are recorded (never panicked) and surface through the
+// error log and the controller's Health snapshot.
 type LoadBalancer struct {
 	// SplitRule is the Flow-MOD installed on congestion.
 	SplitRule openflow.FlowMod
@@ -17,9 +24,10 @@ type LoadBalancer struct {
 	// once).
 	OneShot bool
 
-	qm      *QueueMonitor
-	channel *openflow.Channel
-	onset   *OnsetFilter
+	qm    *QueueMonitor
+	prog  *openflow.Programmer
+	onset *OnsetFilter
+	errs  *ErrorLog
 
 	// Triggered reports whether the split rule was sent.
 	Triggered bool
@@ -27,18 +35,50 @@ type LoadBalancer struct {
 	TriggeredAt float64
 	// Triggers counts congestion tones acted upon.
 	Triggers uint64
+	// Installed reports the split rule confirmed through the channel
+	// (possibly after retries); InstalledAt is when.
+	Installed   bool
+	InstalledAt float64
+	// ProgramFailures counts terminal flow-programming failures.
+	ProgramFailures uint64
+	// LastErr is the most recent programming failure (nil when none).
+	LastErr error
 }
 
 // NewLoadBalancer listens to the queue monitor's tones and programs
 // the switch behind ch when congestion is heard.
 func NewLoadBalancer(qm *QueueMonitor, ch *openflow.Channel, splitRule openflow.FlowMod) *LoadBalancer {
-	return &LoadBalancer{
+	lb := &LoadBalancer{
 		SplitRule: splitRule,
 		OneShot:   true,
 		qm:        qm,
-		channel:   ch,
+		prog:      openflow.NewProgrammer(ch, 1),
 		onset:     NewOnsetFilter(),
 	}
+	lb.prog.OnResult = func(m openflow.FlowMod, err error) {
+		if err != nil {
+			lb.recordFailure(err)
+			return
+		}
+		lb.Installed = true
+		lb.InstalledAt = ch.Sim().Now()
+	}
+	return lb
+}
+
+// Programmer exposes the retrying flow programmer (to tune backoff or
+// read its counters).
+func (lb *LoadBalancer) Programmer() *openflow.Programmer { return lb.prog }
+
+// SetErrorLog routes programming failures into a shared log —
+// typically the controller's, so they feed its health state.
+func (lb *LoadBalancer) SetErrorLog(l *ErrorLog) { lb.errs = l }
+
+func (lb *LoadBalancer) recordFailure(err error) {
+	lb.ProgramFailures++
+	lb.LastErr = err
+	lb.errs.Record(lb.prog.Channel().Sim().Now(), "loadbalance",
+		fmt.Errorf("%w: split rule: %v", ErrFlowProgram, err))
 }
 
 // HandleWindow is the controller-side hook (wire via
@@ -57,8 +97,13 @@ func (lb *LoadBalancer) HandleWindow(_ float64, dets []Detection) {
 		lb.Triggers++
 		lb.Triggered = true
 		lb.TriggeredAt = det.Time
-		if err := lb.channel.SendFlowMod(lb.SplitRule); err != nil {
-			panic(err)
+		if !lb.OneShot {
+			// A re-trigger is fresh intent, not a retry: clear the
+			// idempotency key so the rule really is sent again.
+			lb.prog.Forget(lb.SplitRule)
+		}
+		if err := lb.prog.Install(lb.SplitRule); err != nil {
+			lb.recordFailure(err)
 		}
 		return
 	}

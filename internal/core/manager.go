@@ -58,7 +58,9 @@ func NewManager(sim *netsim.Sim, mic *acoustic.Microphone, plan *FrequencyPlan) 
 // Deploy registers an application: its frequencies join the watch
 // list (validated against the plan when one is set) and its window
 // handler is subscribed. IntervalApps are started when the manager
-// starts. Deploying after Start is an error.
+// starts. Applications with an error sink share the controller's
+// error log, so their failures feed its health state. Deploying after
+// Start is an error.
 func (m *Manager) Deploy(app App) error {
 	if m.started {
 		return fmt.Errorf("core: cannot deploy after Start")
@@ -73,6 +75,9 @@ func (m *Manager) Deploy(app App) error {
 				return fmt.Errorf("core: app %T frequency %g Hz is not allocated in the plan", app, f)
 			}
 		}
+	}
+	if sink, ok := app.(interface{ SetErrorLog(*ErrorLog) }); ok {
+		sink.SetErrorLog(m.Ctrl.Errors)
 	}
 	m.Ctrl.Detector.AddWatch(freqs...)
 	m.apps = append(m.apps, app)
@@ -89,7 +94,7 @@ func (m *Manager) Start(at float64) {
 		if ia, ok := app.(IntervalApp); ok {
 			ia.Start(m.Ctrl, at)
 		} else {
-			m.Ctrl.SubscribeWindows(app.HandleWindow)
+			m.Ctrl.SubscribeWindowsNamed(fmt.Sprintf("%T", app), app.HandleWindow)
 		}
 	}
 	m.Ctrl.Start(at)
@@ -97,6 +102,9 @@ func (m *Manager) Start(at float64) {
 
 // Stop halts polling.
 func (m *Manager) Stop() { m.Ctrl.Stop() }
+
+// Health returns the managed controller's health snapshot.
+func (m *Manager) Health() HealthSnapshot { return m.Ctrl.Health() }
 
 // Apps returns the deployed applications.
 func (m *Manager) Apps() []App {

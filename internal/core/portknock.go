@@ -21,20 +21,30 @@ type PortKnock struct {
 	// OpenRule is the Flow-MOD sent when the sequence completes.
 	OpenRule openflow.FlowMod
 
-	voice   *Voice
-	channel *openflow.Channel
-	fsm     *FSM
-	onset   *OnsetFilter
+	voice *Voice
+	prog  *openflow.Programmer
+	fsm   *FSM
+	onset *OnsetFilter
+	errs  *ErrorLog
 
 	freqForPort map[uint16]float64
 	portForFreq map[float64]uint16
 
-	// Opened reports whether the port has been opened.
+	// Opened reports whether the knock sequence was accepted and the
+	// open rule sent.
 	Opened bool
 	// OpenedAt is when the rule was sent (valid when Opened).
 	OpenedAt float64
+	// Installed reports the open rule confirmed through the channel
+	// (possibly after retries); InstalledAt is when.
+	Installed   bool
+	InstalledAt float64
 	// WrongKnocks counts sequence resets.
 	WrongKnocks uint64
+	// ProgramFailures counts terminal flow-programming failures.
+	ProgramFailures uint64
+	// LastErr is the most recent programming failure (nil when none).
+	LastErr error
 }
 
 // NewPortKnock allocates one frequency per knock port from the plan
@@ -63,10 +73,18 @@ func NewPortKnock(plan *FrequencyPlan, switchName string, voice *Voice, ch *open
 		Sequence:    append([]uint16(nil), sequence...),
 		OpenRule:    openRule,
 		voice:       voice,
-		channel:     ch,
+		prog:        openflow.NewProgrammer(ch, 2),
 		onset:       NewOnsetFilter(),
 		freqForPort: make(map[uint16]float64, len(distinct)),
 		portForFreq: make(map[float64]uint16, len(distinct)),
+	}
+	pk.prog.OnResult = func(m openflow.FlowMod, err error) {
+		if err != nil {
+			pk.recordFailure(err)
+			return
+		}
+		pk.Installed = true
+		pk.InstalledAt = ch.Sim().Now()
 	}
 	for i, p := range distinct {
 		pk.freqForPort[p] = freqs[i]
@@ -124,15 +142,37 @@ func (pk *PortKnock) HandleWindow(_ float64, dets []Detection) {
 	}
 }
 
+// Programmer exposes the retrying flow programmer (to tune backoff or
+// read its counters).
+func (pk *PortKnock) Programmer() *openflow.Programmer { return pk.prog }
+
+// SetErrorLog routes programming failures into a shared log —
+// typically the controller's, so they feed its health state.
+func (pk *PortKnock) SetErrorLog(l *ErrorLog) { pk.errs = l }
+
+// Accepts returns how many times the full knock sequence has been
+// accepted (the FSM re-arms after each accept; Opened latches only
+// the first).
+func (pk *PortKnock) Accepts() uint64 { return pk.fsm.Accepts }
+
+func (pk *PortKnock) recordFailure(err error) {
+	pk.ProgramFailures++
+	pk.LastErr = err
+	pk.errs.Record(pk.channelNow(), "portknock",
+		fmt.Errorf("%w: open rule: %v", ErrFlowProgram, err))
+}
+
 func (pk *PortKnock) open() {
 	if pk.Opened {
 		return
 	}
 	pk.Opened = true
 	pk.OpenedAt = pk.channelNow()
-	if err := pk.channel.SendFlowMod(pk.OpenRule); err != nil {
-		// Wire-format failures are programming errors; surface hard.
-		panic(err)
+	// Wire-format failures and exhausted retries are recorded, never
+	// panicked: the knock FSM and every other application keep
+	// running.
+	if err := pk.prog.Install(pk.OpenRule); err != nil {
+		pk.recordFailure(err)
 	}
 }
 

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// subscriber is one supervised handler registration. The controller
+// runs every handler inside a recover barrier: a panicking subscriber
+// is counted and, after QuarantineThreshold consecutive panics,
+// quarantined (never called again) — one misbehaving application
+// cannot take down port knocking, heavy-hitter detection, and
+// heartbeats with it. A window that completes without panicking
+// resets the consecutive count, so transient failures do not
+// accumulate toward quarantine.
+type subscriber struct {
+	name  string
+	onDet func(Detection)
+	onWin func(windowStart float64, dets []Detection)
+
+	consecutive   int
+	panics        uint64
+	quarantined   bool
+	quarantinedAt float64
+}
+
+// DefaultQuarantineThreshold is how many consecutive panics disable a
+// subscriber.
+const DefaultQuarantineThreshold = 3
+
+// SubscriberStatus is one subscriber's supervision state, surfaced
+// through Health().
+type SubscriberStatus struct {
+	// Name identifies the subscriber (explicit via SubscribeNamed, or
+	// auto-generated).
+	Name string
+	// Panics counts recovered panics in this subscriber.
+	Panics uint64
+	// Quarantined reports whether the circuit breaker disabled it.
+	Quarantined bool
+	// QuarantinedAt is the virtual time of quarantine (valid when
+	// Quarantined).
+	QuarantinedAt float64
+}
+
+// invoke runs one subscriber callback under the supervision barrier.
+// It must be called on the simulation goroutine.
+func (c *Controller) invoke(s *subscriber, call func()) {
+	if s.quarantined {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c.HandlerPanics++
+			s.panics++
+			s.consecutive++
+			now := c.sim.Now()
+			c.Errors.Record(now, s.name, fmt.Errorf("%w: %s: %v", ErrHandlerPanic, s.name, r))
+			threshold := c.QuarantineThreshold
+			if threshold <= 0 {
+				threshold = DefaultQuarantineThreshold
+			}
+			if s.consecutive >= threshold {
+				s.quarantined = true
+				s.quarantinedAt = now
+				c.Errors.Record(now, s.name, fmt.Errorf(
+					"%w: %s disabled after %d consecutive panics", ErrQuarantined, s.name, s.consecutive))
+			}
+			return
+		}
+		s.consecutive = 0
+	}()
+	call()
+}
+
+// snapshotSubs copies the subscriber list under the registration lock
+// so dispatch never races a concurrent Subscribe.
+func (c *Controller) snapshotSubs() []*subscriber {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*subscriber, len(c.subs))
+	copy(out, c.subs)
+	return out
+}
+
+func (c *Controller) addSubscriber(s *subscriber) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.name == "" {
+		c.autoName++
+		kind := "handler"
+		if s.onWin != nil {
+			kind = "window-handler"
+		}
+		s.name = fmt.Sprintf("%s-%d", kind, c.autoName)
+	}
+	c.subs = append(c.subs, s)
+}
+
+// QuarantinedHandlers returns the names of quarantined subscribers in
+// name order. Like Health, call it on the simulation goroutine (or
+// when the simulation is idle).
+func (c *Controller) QuarantinedHandlers() []string {
+	var out []string
+	for _, s := range c.snapshotSubs() {
+		if s.quarantined {
+			out = append(out, s.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subscribers returns every subscriber's supervision status in
+// registration order.
+func (c *Controller) Subscribers() []SubscriberStatus {
+	subs := c.snapshotSubs()
+	out := make([]SubscriberStatus, 0, len(subs))
+	for _, s := range subs {
+		out = append(out, SubscriberStatus{
+			Name:          s.name,
+			Panics:        s.panics,
+			Quarantined:   s.quarantined,
+			QuarantinedAt: s.quarantinedAt,
+		})
+	}
+	return out
+}

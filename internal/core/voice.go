@@ -74,3 +74,8 @@ func (v *Voice) PlayMessage(m mp.Message) {
 	v.Emitted++
 	v.sounder.Emit(m)
 }
+
+// Sounder returns the underlying switch-side MP sender — the hook for
+// fault injection and for registering its counters with the
+// controller's Health snapshot.
+func (v *Voice) Sounder() *mp.Sounder { return v.sounder }

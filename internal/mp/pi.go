@@ -59,6 +59,9 @@ type Sounder struct {
 	pi     *Pi
 	faults *netsim.FaultInjector
 
+	// Sent counts messages pushed into the hop (before any injected
+	// fault), so loss rates are computable from the counters alone.
+	Sent uint64
 	// SentBytes counts wire bytes pushed to the Pi.
 	SentBytes uint64
 	// Dropped counts messages lost whole to injected faults.
@@ -85,6 +88,7 @@ func (s *Sounder) InjectFaults(f netsim.Faults) *netsim.FaultInjector {
 // Corrupted and dropped, never a panic.
 func (s *Sounder) Emit(m Message) {
 	wire := Marshal(m)
+	s.Sent++
 	s.SentBytes += uint64(len(wire))
 	wire, delivered := s.faults.Mangle(wire)
 	if !delivered {

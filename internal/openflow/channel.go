@@ -42,6 +42,10 @@ func NewChannel(sim *netsim.Sim, sw *netsim.Switch, latency float64) *Channel {
 // Switch returns the attached switch.
 func (c *Channel) Switch() *netsim.Switch { return c.sw }
 
+// Sim returns the channel's clock — what retrying wrappers schedule
+// their backoff on.
+func (c *Channel) Sim() *netsim.Sim { return c.sim }
+
 // InjectFaults arms wire-fault injection on the channel and returns
 // the injector so callers can read its counters. A zero Faults value
 // effectively disables injection again.
@@ -57,35 +61,46 @@ func (c *Channel) InjectFaults(f netsim.Faults) *netsim.FaultInjector {
 // lost to injected faults are counted, not errors — that loss is the
 // phenomenon fault experiments measure.
 func (c *Channel) SendFlowMod(m FlowMod) error {
+	_, err := c.TrySendFlowMod(m)
+	return err
+}
+
+// TrySendFlowMod is SendFlowMod with delivery feedback: delivered
+// reports whether the message survived the wire and will be applied
+// at the switch — the acknowledgement a barrier round-trip would
+// carry on a real control channel. delivered=false with a nil error
+// means the message was lost or corrupted in transit (counted, not an
+// error); retrying wrappers key off it.
+func (c *Channel) TrySendFlowMod(m FlowMod) (delivered bool, err error) {
 	wire, err := MarshalFlowMod(m)
 	if err != nil {
-		return fmt.Errorf("openflow: flow-mod: %w", err)
+		return false, fmt.Errorf("openflow: flow-mod: %w", err)
 	}
 	c.SentFlowMods++
-	wire, delivered := c.faults.Mangle(wire)
-	if !delivered {
+	wire, ok := c.faults.Mangle(wire)
+	if !ok {
 		c.DroppedFlowMods++
-		return nil
+		return false, nil
 	}
 	decoded, _, err := Unmarshal(wire)
 	if err != nil {
 		if c.faults != nil {
 			c.CorruptedFlowMods++
-			return nil
+			return false, nil
 		}
-		return fmt.Errorf("openflow: flow-mod failed wire round-trip: %w", err)
+		return false, fmt.Errorf("openflow: flow-mod failed wire round-trip: %w", err)
 	}
-	fm, ok := decoded.(FlowMod)
-	if !ok {
+	fm, ok2 := decoded.(FlowMod)
+	if !ok2 {
 		// Corruption can re-frame the bytes as another message type;
 		// the switch rejects it as an unexpected message.
 		if c.faults != nil {
 			c.CorruptedFlowMods++
-			return nil
+			return false, nil
 		}
-		return fmt.Errorf("%w: flow-mod decoded as %T", ErrBadMessage, decoded)
+		return false, fmt.Errorf("%w: flow-mod decoded as %T", ErrBadMessage, decoded)
 	}
 	delay := c.Latency + c.faults.Jitter()
 	c.sim.After(delay, func() { fm.Apply(c.sw) })
-	return nil
+	return true, nil
 }

@@ -1,0 +1,181 @@
+package openflow
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrRetriesExhausted reports a flow-programming operation that
+// failed on every attempt over a lossy control channel.
+var ErrRetriesExhausted = errors.New("openflow: flow programming retries exhausted")
+
+// Programmer is a retrying flow-programming wrapper around a Channel:
+// every Install is attempted with bounded exponential backoff plus
+// deterministic jitter, scheduled on simulated time, until the
+// message survives the wire or the attempt budget is spent. A per-rule
+// idempotency key (the marshalled wire bytes) makes retries safe over
+// a lossy channel: a rule the programmer has already confirmed
+// installed is never sent again, so a duplicate Install — or a
+// handler re-firing after partial failure — cannot double-install.
+//
+// The programmer is driven entirely by the simulation goroutine; it
+// is not safe for concurrent use from other goroutines.
+type Programmer struct {
+	// MaxAttempts bounds tries per rule (default 8).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay in seconds (default 50 ms);
+	// it doubles per retry up to MaxBackoff (default 1 s).
+	BaseBackoff float64
+	MaxBackoff  float64
+	// JitterFrac spreads each backoff uniformly over
+	// [1-JitterFrac/2, 1+JitterFrac/2) of its nominal value
+	// (default 0.5), decorrelating retry storms.
+	JitterFrac float64
+	// OnResult, when set, observes each rule's terminal outcome: err
+	// is nil on confirmed install, wraps ErrRetriesExhausted on
+	// give-up. Validation failures are returned synchronously by
+	// Install and do not reach OnResult.
+	OnResult func(m FlowMod, err error)
+
+	ch  *Channel
+	rng *rand.Rand
+
+	installed map[string]bool
+	pending   int
+
+	// Attempts counts wire sends, Retries the re-sends among them.
+	Attempts uint64
+	Retries  uint64
+	// Installs counts rules confirmed through the wire; Duplicates
+	// counts Installs suppressed by the idempotency key; Failures
+	// counts rules given up on.
+	Installs   uint64
+	Duplicates uint64
+	Failures   uint64
+}
+
+// Programming defaults.
+const (
+	DefaultMaxAttempts = 8
+	DefaultBaseBackoff = 0.050
+	DefaultMaxBackoff  = 1.0
+	DefaultJitterFrac  = 0.5
+)
+
+// NewProgrammer wraps a channel. The seed drives the retry jitter, so
+// runs replay exactly.
+func NewProgrammer(ch *Channel, seed int64) *Programmer {
+	return &Programmer{
+		MaxAttempts: DefaultMaxAttempts,
+		BaseBackoff: DefaultBaseBackoff,
+		MaxBackoff:  DefaultMaxBackoff,
+		JitterFrac:  DefaultJitterFrac,
+		ch:          ch,
+		rng:         rand.New(rand.NewSource(seed)),
+		installed:   make(map[string]bool),
+	}
+}
+
+// Channel returns the wrapped channel.
+func (p *Programmer) Channel() *Channel { return p.ch }
+
+// Forget drops the rule's idempotency key, so a later Install sends it
+// again. Callers use it when re-installation is deliberate — a
+// re-triggered application intent — rather than a retry.
+func (p *Programmer) Forget(m FlowMod) {
+	if wire, err := MarshalFlowMod(m); err == nil {
+		delete(p.installed, string(wire))
+	}
+}
+
+// Pending returns how many rules are mid-retry.
+func (p *Programmer) Pending() int { return p.pending }
+
+// Install programs the rule through the channel, retrying lost or
+// corrupted sends with backoff. It returns an error only for rules
+// the wire format rejects outright (wrapping ErrBadMessage or
+// ErrTooLarge); wire-loss outcomes are asynchronous and reported
+// through OnResult. A rule already confirmed installed is suppressed
+// and counted in Duplicates.
+func (p *Programmer) Install(m FlowMod) error {
+	wire, err := MarshalFlowMod(m)
+	if err != nil {
+		return fmt.Errorf("openflow: programmer: %w", err)
+	}
+	key := string(wire)
+	if p.installed[key] {
+		p.Duplicates++
+		return nil
+	}
+	p.pending++
+	p.attempt(m, key, 0)
+	return nil
+}
+
+func (p *Programmer) attempt(m FlowMod, key string, try int) {
+	p.Attempts++
+	if try > 0 {
+		p.Retries++
+	}
+	delivered, err := p.ch.TrySendFlowMod(m)
+	if err != nil {
+		// Validate passed at Install time; a send error here means the
+		// channel (without fault injection) failed the wire round
+		// trip — terminal.
+		p.finish(m, fmt.Errorf("%w: %v", ErrRetriesExhausted, err))
+		return
+	}
+	if delivered {
+		p.installed[key] = true
+		p.Installs++
+		p.finish(m, nil)
+		return
+	}
+	max := p.MaxAttempts
+	if max <= 0 {
+		max = DefaultMaxAttempts
+	}
+	if try+1 >= max {
+		p.Failures++
+		p.finish(m, fmt.Errorf("%w: %d attempts lost on %q",
+			ErrRetriesExhausted, try+1, p.ch.Switch().Name))
+		return
+	}
+	p.ch.Sim().After(p.backoff(try), func() { p.attempt(m, key, try+1) })
+}
+
+func (p *Programmer) finish(m FlowMod, err error) {
+	p.pending--
+	if p.OnResult != nil {
+		p.OnResult(m, err)
+	}
+}
+
+// backoff returns the delay before retry number try+1: exponential
+// from BaseBackoff, capped at MaxBackoff, jittered by JitterFrac.
+func (p *Programmer) backoff(try int) float64 {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = DefaultBaseBackoff
+	}
+	limit := p.MaxBackoff
+	if limit <= 0 {
+		limit = DefaultMaxBackoff
+	}
+	d := base
+	for i := 0; i < try && d < limit; i++ {
+		d *= 2
+	}
+	if d > limit {
+		d = limit
+	}
+	jf := p.JitterFrac
+	if jf < 0 {
+		jf = 0
+	}
+	if jf > 0 {
+		d *= 1 + jf*(p.rng.Float64()-0.5)
+	}
+	return d
+}

@@ -1,0 +1,418 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdn/internal/acoustic"
+	"mdn/internal/core"
+	"mdn/internal/mp"
+	"mdn/internal/netsim"
+	"mdn/internal/openflow"
+)
+
+// Chaos is the supervised runtime's proving ground: it runs full
+// end-to-end MDN pipelines — knock → FSM → flow install, heavy-hitter
+// telemetry, congestion-driven load balancing, and heartbeat liveness —
+// under a sweep of injected wire-fault rates, and reports each point's
+// recall, health verdict, recovered panics, and retry counters. The
+// paper's Section 7 asks how the acoustic channel behaves as conditions
+// worsen; the harness answers the control-plane half: detection decays
+// gracefully (recall falls, nothing crashes) and the controller's
+// Health snapshot names the degradation.
+//
+// Every run is seeded; the same ChaosConfig produces a byte-identical
+// ChaosReport, so sweeps are replayable evidence, not anecdotes.
+
+// ChaosScenarioNames are the pipelines the harness can run.
+var ChaosScenarioNames = []string{"portknock", "heavyhitter", "loadbalance", "heartbeat"}
+
+// ChaosConfig parameterises a chaos sweep.
+type ChaosConfig struct {
+	// Seed drives every stochastic component; per-point fault streams
+	// derive from it.
+	Seed int64 `json:"seed"`
+	// DropRates are the message-drop probabilities to sweep
+	// (default 0, 0.1, 0.3, 0.5).
+	DropRates []float64 `json:"drop_rates,omitempty"`
+	// FlipProb and TruncProb add bit-flip and truncation corruption at
+	// every point (default 0).
+	FlipProb  float64 `json:"flip_prob,omitempty"`
+	TruncProb float64 `json:"trunc_prob,omitempty"`
+	// JitterMaxS adds up to this much extra one-way latency (default 0).
+	JitterMaxS float64 `json:"jitter_max_s,omitempty"`
+	// DurationS is the simulated length of each point (default 30).
+	DurationS float64 `json:"duration_s,omitempty"`
+	// Scenarios selects pipelines (default all of ChaosScenarioNames).
+	Scenarios []string `json:"scenarios,omitempty"`
+}
+
+// ChaosPoint is one (scenario, drop rate) measurement.
+type ChaosPoint struct {
+	// Scenario names the pipeline.
+	Scenario string `json:"scenario"`
+	// DropRate is the injected message-drop probability.
+	DropRate float64 `json:"drop_rate"`
+	// GroundTruth counts the events the pipeline was offered;
+	// Detected counts those it acted on; Recall is their ratio.
+	GroundTruth int     `json:"ground_truth"`
+	Detected    int     `json:"detected"`
+	Recall      float64 `json:"recall"`
+	// Health is the controller's end-of-run verdict; Reasons explains
+	// a non-healthy one.
+	Health  string   `json:"health"`
+	Reasons []string `json:"reasons,omitempty"`
+	// RecoveredPanics counts subscriber panics the supervisor absorbed
+	// (the canary handler contributes two per run); Quarantined counts
+	// circuit-broken subscribers.
+	RecoveredPanics uint64 `json:"recovered_panics"`
+	Quarantined     int    `json:"quarantined"`
+	// Wire counters aggregate the acoustic and OpenFlow control hops.
+	WireSent      uint64 `json:"wire_sent"`
+	WireDropped   uint64 `json:"wire_dropped"`
+	WireCorrupted uint64 `json:"wire_corrupted"`
+	// Flow-programming counters (zero for pipelines that install no
+	// rules).
+	FlowAttempts uint64 `json:"flow_attempts,omitempty"`
+	FlowRetries  uint64 `json:"flow_retries,omitempty"`
+	FlowFailures uint64 `json:"flow_failures,omitempty"`
+	// Notes carries scenario-specific outcomes (rule installed,
+	// alerts raised).
+	Notes string `json:"notes,omitempty"`
+}
+
+// ChaosReport is a full sweep.
+type ChaosReport struct {
+	Seed      int64        `json:"seed"`
+	DurationS float64      `json:"duration_s"`
+	Points    []ChaosPoint `json:"points"`
+}
+
+// RunChaos executes the sweep and returns its report.
+func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
+	drops := cfg.DropRates
+	if len(drops) == 0 {
+		drops = []float64{0, 0.1, 0.3, 0.5}
+	}
+	dur := cfg.DurationS
+	if dur <= 0 {
+		dur = 30
+	}
+	names := cfg.Scenarios
+	if len(names) == 0 {
+		names = ChaosScenarioNames
+	}
+	rep := &ChaosReport{Seed: cfg.Seed, DurationS: dur}
+	for si, name := range names {
+		run, ok := chaosScenarios[name]
+		if !ok {
+			return nil, fmt.Errorf("scenario: unknown chaos scenario %q (have %s)",
+				name, strings.Join(ChaosScenarioNames, ", "))
+		}
+		for ri, rate := range drops {
+			if rate < 0 || rate > 1 {
+				return nil, fmt.Errorf("scenario: chaos drop rate %g outside [0, 1]", rate)
+			}
+			faults := netsim.Faults{
+				DropProb:  rate,
+				FlipProb:  cfg.FlipProb,
+				TruncProb: cfg.TruncProb,
+				JitterMax: cfg.JitterMaxS,
+				// Per-point stream: same config, same faults. The seed
+				// is bit-mixed because math/rand's early draws are
+				// visibly correlated across sequential seeds.
+				Seed: mixSeed(cfg.Seed*10000 + int64(si)*100 + int64(ri)),
+			}
+			pt := run(faults, dur)
+			pt.Scenario = name
+			pt.DropRate = rate
+			if pt.GroundTruth > 0 {
+				pt.Recall = float64(pt.Detected) / float64(pt.GroundTruth)
+			}
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+	return rep, nil
+}
+
+// Table renders the sweep as a fixed-width degradation table.
+func (r *ChaosReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos sweep: seed=%d duration=%.0fs\n", r.Seed, r.DurationS)
+	fmt.Fprintf(&b, "%-12s %5s  %6s %9s  %-8s %7s %5s  %-s\n",
+		"scenario", "drop", "recall", "truth/det", "health", "panics", "quar", "notes")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-12s %4.0f%%  %5.0f%% %5d/%-3d  %-8s %7d %5d  %s\n",
+			p.Scenario, 100*p.DropRate, 100*p.Recall, p.GroundTruth, p.Detected,
+			p.Health, p.RecoveredPanics, p.Quarantined, p.Notes)
+	}
+	return b.String()
+}
+
+// mixSeed finalises a seed splitmix64-style. Sequential seeds fed
+// straight to math/rand produce correlated early draws (a seed one
+// apart can yield a fault stream with zero drops at 30% probability);
+// mixing decorrelates the sweep's points.
+func mixSeed(s int64) int64 {
+	z := uint64(s) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// chaosRun measures one pipeline under one fault setting.
+type chaosRun func(faults netsim.Faults, dur float64) ChaosPoint
+
+var chaosScenarios = map[string]chaosRun{
+	"portknock":   chaosPortKnock,
+	"heavyhitter": chaosHeavyHitter,
+	"loadbalance": chaosLoadBalance,
+	"heartbeat":   chaosHeartbeat,
+}
+
+// chaosEnv is the one-switch testbed every chaos pipeline shares: a
+// room, a controller, and a faulty acoustic control hop.
+type chaosEnv struct {
+	sim   *netsim.Sim
+	sw    *netsim.Switch
+	voice *core.Voice
+	ctrl  *core.Controller
+	plan  *core.FrequencyPlan
+}
+
+func newChaosEnv(faults netsim.Faults) *chaosEnv {
+	sim := netsim.NewSim()
+	room := acoustic.NewRoom(44100, faults.Seed)
+	mic := room.AddMicrophone("controller", acoustic.Position{}, 0.0005)
+	sw := netsim.NewSwitch(sim, "s1")
+	sp := room.AddSpeaker("s1", acoustic.Position{X: 1})
+	voice := core.NewVoice(sim, mp.NewSounder(mp.NewPi(sim, sp, 0.002)))
+	voice.Sounder().InjectFaults(faults)
+	ctrl := core.NewController(sim, mic, core.NewDetector(core.MethodGoertzel, nil))
+	ctrl.RegisterVoice("s1", voice)
+	return &chaosEnv{sim: sim, sw: sw, voice: voice, ctrl: ctrl, plan: core.DefaultPlan()}
+}
+
+// addCanary registers a subscriber that panics on its first two
+// windows and then behaves — below the quarantine threshold, so every
+// chaos point proves the recover barrier without tripping the circuit
+// breaker. The panics land in the first ~100 ms of the run and age out
+// of the "recent errors" degradation input long before it ends.
+func (e *chaosEnv) addCanary() {
+	calls := 0
+	e.ctrl.SubscribeWindowsNamed("canary", func(float64, []core.Detection) {
+		calls++
+		if calls <= 2 {
+			panic("chaos canary")
+		}
+	})
+}
+
+// channel builds a faulty OpenFlow control channel sharing the
+// acoustic hop's fault configuration (independent stream) and registers
+// its counters with the controller.
+func (e *chaosEnv) channel(faults netsim.Faults) *openflow.Channel {
+	ch := openflow.NewChannel(e.sim, e.sw, 0.005)
+	if faults != (netsim.Faults{}) {
+		f := faults
+		f.Seed = faults.Seed + 7
+		ch.InjectFaults(f)
+	}
+	e.ctrl.RegisterChannel("s1", ch)
+	return ch
+}
+
+// finish runs the simulation and fills the point's common fields.
+func (e *chaosEnv) finish(dur float64, pt *ChaosPoint) core.HealthSnapshot {
+	e.sim.RunUntil(dur)
+	h := e.ctrl.Health()
+	pt.Health = h.StateName
+	pt.Reasons = h.Reasons
+	pt.RecoveredPanics = h.HandlerPanics
+	pt.Quarantined = len(h.Quarantined)
+	for _, w := range h.Wire {
+		pt.WireSent += w.Sent
+		pt.WireDropped += w.Dropped
+		pt.WireCorrupted += w.Corrupted
+	}
+	return h
+}
+
+func flowCounters(p *openflow.Programmer, pt *ChaosPoint) {
+	pt.FlowAttempts += p.Attempts
+	pt.FlowRetries += p.Retries
+	pt.FlowFailures += p.Failures
+}
+
+// chaosPortKnock drives repeated secret-knock rounds through the full
+// acoustic pipeline; truth is the number of rounds offered, detection
+// is the FSM's accept count, and the accepted sequence installs the
+// open rule through the retrying programmer.
+func chaosPortKnock(faults netsim.Faults, dur float64) ChaosPoint {
+	e := newChaosEnv(faults)
+	ch := e.channel(faults)
+	seq := []uint16{7001, 7002, 7003}
+	rule := openflow.FlowMod{Command: openflow.FlowAdd, Priority: 10, Action: netsim.Drop()}
+	pk, err := core.NewPortKnock(e.plan, "s1", e.voice, ch, seq, rule)
+	if err != nil {
+		return ChaosPoint{Notes: "setup failed: " + err.Error()}
+	}
+	pk.SetErrorLog(e.ctrl.Errors)
+	e.ctrl.Detector.AddWatch(pk.Frequencies()...)
+	e.ctrl.SubscribeWindowsNamed("portknock", pk.HandleWindow)
+	e.addCanary()
+	e.ctrl.Start(0)
+
+	// One knock round per second: three knocks 0.3 s apart. Even a
+	// 10 s point pushes enough messages through the wire for the
+	// health loss-rate input to be judged (minWireSample).
+	rounds := 0
+	for t := 1.0; t+0.6 < dur-1; t += 1.0 {
+		rounds++
+		for i, p := range seq {
+			p := p
+			e.sim.After(t+0.3*float64(i), func() {
+				pk.Tap(&netsim.Packet{Flow: netsim.FiveTuple{DstPort: p}}, 0)
+			})
+		}
+	}
+
+	var pt ChaosPoint
+	pt.GroundTruth = rounds
+	e.finish(dur, &pt)
+	pt.Detected = int(pk.Accepts())
+	flowCounters(pk.Programmer(), &pt)
+	pt.Notes = fmt.Sprintf("opened=%v installed=%v", pk.Opened, pk.Installed)
+	return pt
+}
+
+// chaosHeavyHitter pushes one hot flow through the switch tap; truth
+// is the number of complete traffic intervals, detection the intervals
+// the hot bucket was flagged in.
+func chaosHeavyHitter(faults netsim.Faults, dur float64) ChaosPoint {
+	e := newChaosEnv(faults)
+	hh, err := core.NewHeavyHitter(e.plan, "s1", e.voice, 4)
+	if err != nil {
+		return ChaosPoint{Notes: "setup failed: " + err.Error()}
+	}
+	// The Voice's per-frequency rate limit caps tone onsets near
+	// 5/s, so flag on 2 onsets per 1 s interval.
+	hh.Threshold = 2
+	e.ctrl.Detector.AddWatch(hh.Frequencies()...)
+	e.addCanary()
+	hh.Start(e.ctrl, 0) // subscribes HandleWindow and starts intervals
+	e.ctrl.Start(0)
+
+	flow := netsim.FiveTuple{
+		Src: netsim.MustAddr("10.0.0.1"), Dst: netsim.MustAddr("10.0.0.2"),
+		SrcPort: 1111, DstPort: 80, Proto: netsim.ProtoTCP,
+	}
+	stop := dur - 1
+	tick := e.sim.Every(1.0, 0.2, func(now float64) {
+		hh.Tap(&netsim.Packet{Flow: flow}, 0)
+	})
+	e.sim.After(stop, tick.Stop)
+
+	var pt ChaosPoint
+	// Intervals fully covered by traffic: those ending in (2, stop].
+	pt.GroundTruth = int(stop) - 1
+	e.finish(dur, &pt)
+	hot := hh.BucketOf(flow)
+	for _, r := range hh.Reports {
+		if r.Bucket == hot && r.Time > 2 && r.Time <= stop {
+			pt.Detected++
+		}
+	}
+	pt.Notes = fmt.Sprintf("hot bucket %d", hot)
+	return pt
+}
+
+// chaosLoadBalance plays the queue monitor's congestion tone on a
+// schedule; truth is tones offered, detection the confirmed high-level
+// onsets the controller heard, and the first one must drive the split
+// rule through the retrying programmer.
+func chaosLoadBalance(faults netsim.Faults, dur float64) ChaosPoint {
+	e := newChaosEnv(faults)
+	ch := e.channel(faults)
+	qm := core.NewQueueMonitorWithTones(e.sw, 2, e.voice, core.DefaultQueueFrequencies)
+	rule := openflow.FlowMod{Command: openflow.FlowAdd, Priority: 5, Action: netsim.Drop()}
+	lb := core.NewLoadBalancer(qm, ch, rule)
+	lb.SetErrorLog(e.ctrl.Errors)
+	e.ctrl.Detector.AddWatch(qm.Frequencies()...)
+	e.ctrl.SubscribeWindowsNamed("queuemon", qm.HandleWindow)
+	e.ctrl.SubscribeWindowsNamed("loadbalance", lb.HandleWindow)
+	e.addCanary()
+	e.ctrl.Start(0)
+
+	high := qm.Frequencies()[2]
+	truth := 0
+	for t := 2.0; t < dur-1; t += 0.3 {
+		truth++
+		e.sim.Schedule(t, func() { e.voice.Play(high) })
+	}
+
+	var pt ChaosPoint
+	pt.GroundTruth = truth
+	e.finish(dur, &pt)
+	// Raw heard entries, not HeardLevels: that helper collapses
+	// consecutive duplicates, and every offered tone here is high.
+	for _, s := range qm.Heard {
+		if s.Level == core.LevelHigh {
+			pt.Detected++
+		}
+	}
+	flowCounters(lb.Programmer(), &pt)
+	pt.Notes = fmt.Sprintf("triggered=%v installed=%v", lb.Triggered, lb.Installed)
+	return pt
+}
+
+// chaosHeartbeat beats one device fast (so even short sweeps cross the
+// wire-sample floor), kills it at 60% of the run, and measures heard
+// beats against played ones; the monitor must still raise its death
+// alert.
+func chaosHeartbeat(faults netsim.Faults, dur float64) ChaosPoint {
+	e := newChaosEnv(faults)
+	hb := core.NewHeartbeat()
+	hb.Period = 0.3
+	f, err := hb.Register(e.plan, "s1", e.voice)
+	if err != nil {
+		return ChaosPoint{Notes: "setup failed: " + err.Error()}
+	}
+	e.ctrl.Detector.AddWatch(hb.Frequencies()...)
+	e.addCanary()
+	hb.Start(e.ctrl, 0)
+	e.ctrl.Start(0)
+	ticker, err := hb.StartDevice(e.sim, f, 0.1)
+	if err != nil {
+		return ChaosPoint{Notes: "setup failed: " + err.Error()}
+	}
+	death := 0.6 * dur
+	e.sim.Schedule(death, ticker.Stop)
+
+	var pt ChaosPoint
+	e.finish(dur, &pt)
+	pt.GroundTruth = int(e.voice.Emitted)
+	pt.Detected = int(hb.BeatsOf("s1"))
+	alertAfterDeath := false
+	for _, a := range hb.Alerts {
+		if a.Time >= death {
+			alertAfterDeath = true
+		}
+	}
+	pt.Notes = fmt.Sprintf("alerts=%d death-alert=%v", len(hb.Alerts), alertAfterDeath)
+	return pt
+}
+
+// SortPoints orders a report's points by scenario then drop rate —
+// already the generation order, but callers merging reports use it to
+// restore the canonical layout.
+func (r *ChaosReport) SortPoints() {
+	sort.SliceStable(r.Points, func(i, j int) bool {
+		a, b := r.Points[i], r.Points[j]
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
+		}
+		return a.DropRate < b.DropRate
+	})
+}

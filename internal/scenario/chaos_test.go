@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// chaosTestConfig is small enough for CI but long enough that every
+// pipeline crosses the health monitor's minimum wire sample.
+func chaosTestConfig() ChaosConfig {
+	return ChaosConfig{
+		Seed:      7,
+		DropRates: []float64{0, 0.3, 0.5},
+		DurationS: 10,
+	}
+}
+
+func TestChaosSweepIsDeterministic(t *testing.T) {
+	a, err := RunChaos(chaosTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(chaosTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("two identical sweeps diverged:\n%s\nvs\n%s", a.Table(), b.Table())
+	}
+}
+
+func TestChaosGracefulDegradation(t *testing.T) {
+	rep, err := RunChaos(chaosTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScenario := make(map[string]map[float64]ChaosPoint)
+	for _, p := range rep.Points {
+		if byScenario[p.Scenario] == nil {
+			byScenario[p.Scenario] = make(map[float64]ChaosPoint)
+		}
+		byScenario[p.Scenario][p.DropRate] = p
+	}
+	for _, name := range ChaosScenarioNames {
+		pts := byScenario[name]
+		if len(pts) != 3 {
+			t.Fatalf("%s: %d points, want 3", name, len(pts))
+		}
+		clean, heavy := pts[0], pts[0.5]
+
+		// A clean channel is healthy — the canary's recovered panics
+		// must not degrade it — and detection is near-perfect.
+		if clean.Health != "healthy" {
+			t.Errorf("%s at 0%%: health %s (%v), want healthy", name, clean.Health, clean.Reasons)
+		}
+		if clean.Recall < 0.85 {
+			t.Errorf("%s at 0%%: recall %.2f, want >= 0.85", name, clean.Recall)
+		}
+		if clean.RecoveredPanics == 0 {
+			t.Errorf("%s at 0%%: canary panics not recorded", name)
+		}
+
+		// Degradation is graceful: recall never improves under loss,
+		// and heavy loss is reported as Degraded — never Stalled, never
+		// a quarantine, never an unrecovered panic (RunChaos returning
+		// at all proves nothing escaped the supervisor).
+		if heavy.Recall > clean.Recall {
+			t.Errorf("%s: recall rose from %.2f to %.2f under 50%% drop", name, clean.Recall, heavy.Recall)
+		}
+		for _, rate := range []float64{0.3, 0.5} {
+			p := pts[rate]
+			if p.Health != "degraded" {
+				t.Errorf("%s at %.0f%%: health %s (%v), want degraded",
+					name, 100*rate, p.Health, p.Reasons)
+			}
+			if p.Health == "stalled" {
+				t.Errorf("%s at %.0f%%: stalled — not graceful", name, 100*rate)
+			}
+			if p.Quarantined != 0 {
+				t.Errorf("%s at %.0f%%: %d quarantined subscribers", name, 100*rate, p.Quarantined)
+			}
+			if p.WireDropped == 0 {
+				t.Errorf("%s at %.0f%%: no wire drops recorded", name, 100*rate)
+			}
+		}
+	}
+
+	// The flow-programming pipelines must still land their rules at
+	// every drop rate — that is what the retrying programmer buys.
+	for _, name := range []string{"portknock", "loadbalance"} {
+		for rate, p := range byScenario[name] {
+			if p.Notes == "" || !containsInstalled(p.Notes) {
+				t.Errorf("%s at %.0f%%: notes %q, want installed=true", name, 100*rate, p.Notes)
+			}
+		}
+	}
+}
+
+func containsInstalled(notes string) bool {
+	const want = "installed=true"
+	for i := 0; i+len(want) <= len(notes); i++ {
+		if notes[i:i+len(want)] == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestChaosUnknownScenarioRejected(t *testing.T) {
+	_, err := RunChaos(ChaosConfig{Scenarios: []string{"nonsense"}, DurationS: 5})
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestChaosBadDropRateRejected(t *testing.T) {
+	_, err := RunChaos(ChaosConfig{DropRates: []float64{1.5}, DurationS: 5})
+	if err == nil {
+		t.Fatal("drop rate 1.5 accepted")
+	}
+}
+
+func TestScenarioFaultsConfigDegradesReportHealth(t *testing.T) {
+	cfg := &Config{
+		Name:      "faulty",
+		Seed:      5,
+		DurationS: 12,
+		Switches:  []SwitchConfig{{Name: "s1", X: 1}},
+		// A fast beat pushes enough messages through the wire for the
+		// loss-rate health input to be judged within the short run.
+		Apps:   []AppConfig{{Type: "heartbeat", Switch: "s1", PeriodS: 0.3}},
+		Faults: &FaultsConfig{DropProb: 0.4},
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Health == nil {
+		t.Fatal("report carries no health snapshot")
+	}
+	if rep.Health.StateName != "degraded" {
+		t.Errorf("health = %s (%v), want degraded under 40%% drop",
+			rep.Health.StateName, rep.Health.Reasons)
+	}
+	var sounders int
+	for _, w := range rep.Health.Wire {
+		if w.Kind == "sounder" {
+			sounders++
+			if w.Sent == 0 {
+				t.Errorf("sounder %s never sent", w.Name)
+			}
+		}
+	}
+	if sounders != 1 {
+		t.Errorf("%d sounders registered, want 1", sounders)
+	}
+}
+
+func TestScenarioFaultsConfigValidation(t *testing.T) {
+	cfg := &Config{
+		Name:      "bad",
+		DurationS: 5,
+		Switches:  []SwitchConfig{{Name: "s1"}},
+		Faults:    &FaultsConfig{DropProb: 2},
+	}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("drop_prob 2 accepted")
+	}
+}

@@ -41,6 +41,22 @@ type Config struct {
 	// loud ambience calibrate this above the background's tonal
 	// components and below the switch tones; 0 keeps the default.
 	MinAmplitude float64 `json:"min_amplitude,omitempty"`
+	// Faults, when set, arms deterministic wire-fault injection on
+	// every switch's MP control hop (the switch→Pi sounder path). The
+	// fault stream derives from Seed, so faulty runs replay exactly.
+	Faults *FaultsConfig `json:"faults,omitempty"`
+}
+
+// FaultsConfig describes the injected wire faults of a chaos run.
+type FaultsConfig struct {
+	// DropProb is the probability a whole MP message is lost.
+	DropProb float64 `json:"drop_prob,omitempty"`
+	// FlipProb is the probability one random bit is inverted.
+	FlipProb float64 `json:"flip_prob,omitempty"`
+	// TruncProb is the probability the message is cut short.
+	TruncProb float64 `json:"trunc_prob,omitempty"`
+	// JitterMaxS is the maximum extra one-way latency in seconds.
+	JitterMaxS float64 `json:"jitter_max_s,omitempty"`
 }
 
 // SwitchConfig places one switch (and its speaker) in the room.
@@ -263,6 +279,19 @@ func (c *Config) Validate() error {
 		case "song", "datacenter", "office":
 		default:
 			return fmt.Errorf("scenario: unknown noise type %q (entry %d)", n.Type, i)
+		}
+	}
+	if f := c.Faults; f != nil {
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{{"drop_prob", f.DropProb}, {"flip_prob", f.FlipProb}, {"trunc_prob", f.TruncProb}} {
+			if p.v < 0 || p.v > 1 {
+				return fmt.Errorf("scenario: faults.%s %g outside [0, 1]", p.name, p.v)
+			}
+		}
+		if f.JitterMaxS < 0 {
+			return fmt.Errorf("scenario: faults.jitter_max_s must be non-negative")
 		}
 	}
 	return nil

@@ -24,6 +24,9 @@ type Report struct {
 	Hosts []HostReport `json:"hosts"`
 	// Apps summarises per-application outcomes.
 	Apps []AppReport `json:"apps"`
+	// Health is the controller's end-of-run health snapshot: verdict,
+	// recovered panics, quarantines, and wire fault counters.
+	Health *core.HealthSnapshot `json:"health,omitempty"`
 }
 
 // HostReport is one host's counters.
@@ -57,11 +60,22 @@ func Run(c *Config) (*Report, error) {
 	// Switches with voices.
 	sws := make(map[string]*netsim.Switch, len(c.Switches))
 	voices := make(map[string]*core.Voice, len(c.Switches))
-	for _, sc := range c.Switches {
+	for i, sc := range c.Switches {
 		sw := netsim.NewSwitch(sim, sc.Name)
 		sp := room.AddSpeaker(sc.Name, acoustic.Position{X: sc.X, Y: sc.Y})
 		voices[sc.Name] = core.NewVoice(sim, mp.NewSounder(mp.NewPi(sim, sp, 0.002)))
 		sws[sc.Name] = sw
+		if f := c.Faults; f != nil {
+			voices[sc.Name].Sounder().InjectFaults(netsim.Faults{
+				DropProb:  f.DropProb,
+				FlipProb:  f.FlipProb,
+				TruncProb: f.TruncProb,
+				JitterMax: f.JitterMaxS,
+				// Per-switch stream, derived from the scenario seed so
+				// runs replay exactly.
+				Seed: c.Seed*1000 + int64(i),
+			})
+		}
 	}
 
 	// Hosts.
@@ -111,8 +125,12 @@ func Run(c *Config) (*Report, error) {
 		sws[rc.Switch].InstallRule(rule)
 	}
 
-	// Applications, via the manager.
+	// Applications, via the manager. Every switch's control hop feeds
+	// the controller's health snapshot.
 	mgr := core.NewManager(sim, mic, plan)
+	for _, sc := range c.Switches {
+		mgr.Ctrl.RegisterVoice(sc.Name, voices[sc.Name])
+	}
 	type deployed struct {
 		cfg AppConfig
 		app interface{}
@@ -312,5 +330,7 @@ func Run(c *Config) (*Report, error) {
 		}
 		rep.Apps = append(rep.Apps, ar)
 	}
+	health := mgr.Health()
+	rep.Health = &health
 	return rep, nil
 }

@@ -70,6 +70,30 @@ type (
 	// KnockGenerator derives time-rotating knock sequences from a
 	// shared secret (TOTP-style).
 	KnockGenerator = core.KnockGenerator
+	// HealthState is the controller's coarse health verdict.
+	HealthState = core.HealthState
+	// HealthSnapshot is one observation of controller health.
+	HealthSnapshot = core.HealthSnapshot
+	// ErrorLog is the bounded application-error history.
+	ErrorLog = core.ErrorLog
+	// AppError is one recorded application failure.
+	AppError = core.AppError
+	// SubscriberStatus reports one supervised subscriber.
+	SubscriberStatus = core.SubscriberStatus
+	// WireCounters aggregates one wire's sent/dropped/corrupted counts.
+	WireCounters = core.WireCounters
+	// Programmer installs flow rules with retry and idempotency.
+	Programmer = openflow.Programmer
+)
+
+// Controller health states, in degradation order.
+const (
+	// Healthy: windows flowing, no quarantines, no recent errors.
+	Healthy = core.Healthy
+	// Degraded: operating with reduced fidelity (see Reasons).
+	Degraded = core.Degraded
+	// Stalled: the control loop is no longer acting on the network.
+	Stalled = core.Stalled
 )
 
 // Spread-detection modes.
@@ -206,6 +230,12 @@ func NewHeartbeat() *Heartbeat { return core.NewHeartbeat() }
 // shared secret.
 func NewKnockGenerator(secret []byte) *KnockGenerator {
 	return core.NewKnockGenerator(secret)
+}
+
+// NewProgrammer builds a retrying flow programmer over a control
+// channel, with deterministic backoff jitter from the seed.
+func NewProgrammer(ch *openflow.Channel, seed int64) *Programmer {
+	return openflow.NewProgrammer(ch, seed)
 }
 
 // Testbed assembles the full simulated MDN deployment: a
