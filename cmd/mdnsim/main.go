@@ -2,7 +2,9 @@
 // in a JSON scenario file: topology, applications, traffic, and room
 // noise. It prints a run report (text or JSON). With -chaos it instead
 // runs the built-in chaos sweep: the four end-to-end pipelines under a
-// range of injected control-channel fault rates.
+// range of injected control-channel fault rates. With -metrics the
+// run's telemetry registry is dumped to stdout after the report, in
+// Prometheus text exposition format.
 //
 // Usage:
 //
@@ -11,6 +13,7 @@
 //	cat scenario.json | mdnsim
 //	mdnsim -chaos -seed 7
 //	mdnsim -chaos -chaos-drops 0,0.3 -chaos-duration 10 -json
+//	mdnsim -chaos -metrics
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"strings"
 
 	"mdn/internal/scenario"
+	"mdn/internal/telemetry"
 )
 
 func main() {
@@ -33,11 +37,12 @@ func main() {
 		drops    = flag.String("chaos-drops", "", "comma-separated drop probabilities to sweep (default 0,0.1,0.3,0.5)")
 		duration = flag.Float64("chaos-duration", 0, "simulated seconds per chaos point (default 30)")
 		seed     = flag.Int64("seed", 1, "chaos sweep seed")
+		metrics  = flag.Bool("metrics", false, "dump the run's telemetry in Prometheus text format after the report")
 	)
 	flag.Parse()
 
 	if *chaos {
-		runChaos(*seed, *drops, *duration, *jsonOut)
+		runChaos(*seed, *drops, *duration, *jsonOut, *metrics)
 		return
 	}
 
@@ -64,12 +69,14 @@ func main() {
 		if err := enc.Encode(rep); err != nil {
 			fatal(err)
 		}
+		printMetrics(rep.Metrics, *metrics)
 		return
 	}
 	printReport(rep)
+	printMetrics(rep.Metrics, *metrics)
 }
 
-func runChaos(seed int64, drops string, duration float64, jsonOut bool) {
+func runChaos(seed int64, drops string, duration float64, jsonOut, metrics bool) {
 	cfg := scenario.ChaosConfig{Seed: seed, DurationS: duration}
 	if drops != "" {
 		for _, s := range strings.Split(drops, ",") {
@@ -90,9 +97,24 @@ func runChaos(seed int64, drops string, duration float64, jsonOut bool) {
 		if err := enc.Encode(rep); err != nil {
 			fatal(err)
 		}
+		printMetrics(rep.Metrics, metrics)
 		return
 	}
 	fmt.Print(rep.Table())
+	printMetrics(rep.Metrics, metrics)
+}
+
+// printMetrics dumps the telemetry snapshot in Prometheus text format
+// when -metrics is set. A blank line separates it from the report so
+// the dump itself stays parseable.
+func printMetrics(snap *telemetry.Snapshot, enabled bool) {
+	if !enabled || snap == nil {
+		return
+	}
+	fmt.Println()
+	if err := snap.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
 }
 
 func printReport(rep *scenario.Report) {

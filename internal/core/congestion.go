@@ -1,6 +1,9 @@
 package core
 
-import "mdn/internal/netsim"
+import (
+	"mdn/internal/netsim"
+	"mdn/internal/telemetry"
+)
 
 // RateSetter is the control surface the congestion controller drives:
 // anything whose send rate can be set in packets/second.
@@ -35,7 +38,14 @@ type CongestionController struct {
 	Decreases uint64
 	// Increases counts additive increases applied.
 	Increases uint64
-	// RateLog records (time, rate) after each adjustment.
+
+	// HistoryMax bounds RateLog to the last N entries (0 means
+	// DefaultHistoryMax).
+	HistoryMax int
+	// HistoryDropped counts entries evicted from RateLog by the bound.
+	HistoryDropped uint64
+	// RateLog records (time, rate) after each adjustment, last
+	// HistoryMax.
 	RateLog []netsim.Sample
 }
 
@@ -64,13 +74,31 @@ func (cc *CongestionController) HandleWindow(at float64, dets []Detection) {
 			}
 			cc.source.SetRate(rate)
 			cc.Decreases++
-			cc.RateLog = append(cc.RateLog, netsim.Sample{Time: at, Value: rate})
+			cc.RateLog = appendBounded(cc.RateLog, netsim.Sample{Time: at, Value: rate},
+				cc.HistoryMax, &cc.HistoryDropped)
 		case LevelLow:
 			cc.source.SetRate(cc.source.Rate() + cc.IncreasePPS)
 			cc.Increases++
-			cc.RateLog = append(cc.RateLog, netsim.Sample{Time: at, Value: cc.source.Rate()})
+			cc.RateLog = appendBounded(cc.RateLog, netsim.Sample{Time: at, Value: cc.source.Rate()},
+				cc.HistoryMax, &cc.HistoryDropped)
 		case LevelMid:
 			// Hold: the queue is in the operating band.
 		}
 	}
+}
+
+// Instrument exposes the controller's counters under
+// app="congestion", switch=switchName. Events are rate adjustments;
+// increases and decreases also get dedicated series.
+func (cc *CongestionController) Instrument(reg *telemetry.Registry, switchName string) {
+	reg.Func(appLabels(metricAppOnsets, "congestion", switchName),
+		func() float64 { return float64(cc.onset.Onsets) })
+	reg.Func(appLabels(metricAppEvents, "congestion", switchName),
+		func() float64 { return float64(cc.Increases + cc.Decreases) })
+	reg.Func(appLabels(metricAppHistoryDropped, "congestion", switchName),
+		func() float64 { return float64(cc.HistoryDropped) })
+	reg.Func(telemetry.Label(metricCongestionIncrease, "switch", switchName),
+		func() float64 { return float64(cc.Increases) })
+	reg.Func(telemetry.Label(metricCongestionDecrease, "switch", switchName),
+		func() float64 { return float64(cc.Decreases) })
 }

@@ -5,6 +5,7 @@ import (
 
 	"mdn/internal/acoustic"
 	"mdn/internal/netsim"
+	"mdn/internal/telemetry"
 )
 
 // Controller is the Music-Defined Network controller: it polls its
@@ -31,6 +32,11 @@ type Controller struct {
 	// the health state machine. Applications deployed by a Manager
 	// share it.
 	Errors *ErrorLog
+	// ProfileSubscribers, when true, runs each subscriber callback
+	// under a pprof label ("mdn_subscriber" = name) so CPU profiles
+	// attribute samples per application. It allocates per call — an
+	// opt-in profiling aid, not a steady-state setting.
+	ProfileSubscribers bool
 
 	sim    *netsim.Sim
 	mic    *acoustic.Microphone
@@ -47,6 +53,7 @@ type Controller struct {
 	started bool
 	startAt float64
 	health  healthInputs
+	tm      controllerMetrics
 
 	// Windows counts analysed windows.
 	Windows uint64
@@ -128,10 +135,16 @@ func (c *Controller) Stop() {
 }
 
 func (c *Controller) analyse(from, to float64) {
+	// Decode span: the wall-clock cost of capture + detection, the
+	// quantity Figure 2b bounds against the 50 ms window budget.
+	sp := telemetry.StartSpan(c.tm.decode, c.tm.wall)
 	buf := c.mic.Capture(from, to)
 	dets := c.Detector.Detect(buf, from)
+	sp.End()
 	c.Windows++
 	c.Detections += uint64(len(dets))
+	c.tm.windows.Inc()
+	c.tm.detections.Add(uint64(len(dets)))
 	c.noteWindow(to, dets)
 	subs := c.snapshotSubs()
 	for _, s := range subs {

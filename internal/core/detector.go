@@ -215,6 +215,11 @@ type OnsetFilter struct {
 	// before the same frequency may fire again (default 1).
 	HoldWindows int
 
+	// Onsets counts confirmed onsets emitted over the filter's
+	// lifetime (telemetry reads it through the owning application's
+	// Instrument method).
+	Onsets uint64
+
 	states map[float64]*onsetState
 }
 
@@ -248,6 +253,7 @@ func (o *OnsetFilter) Step(detections []Detection) []Detection {
 		st.silent = 0
 		if !st.fired && st.streak >= o.ConfirmWindows {
 			st.fired = true
+			o.Onsets++
 			onsets = append(onsets, det)
 		}
 	}

@@ -175,7 +175,7 @@ func (c *Controller) SetHealthThresholds(stallWindows, degradeLossRate, degradeE
 // RegisterChannel adds an openflow control channel's fault counters
 // to the Health snapshot.
 func (c *Controller) RegisterChannel(name string, ch *openflow.Channel) {
-	c.health.wires = append(c.health.wires, wireRef{
+	c.registerWire(wireRef{
 		name: name, kind: "channel",
 		read: func() (uint64, uint64, uint64) {
 			return ch.SentFlowMods, ch.DroppedFlowMods, ch.CorruptedFlowMods
@@ -186,12 +186,19 @@ func (c *Controller) RegisterChannel(name string, ch *openflow.Channel) {
 // RegisterSounder adds a switch-side MP sounder's fault counters to
 // the Health snapshot.
 func (c *Controller) RegisterSounder(name string, s *mp.Sounder) {
-	c.health.wires = append(c.health.wires, wireRef{
+	c.registerWire(wireRef{
 		name: name, kind: "sounder",
 		read: func() (uint64, uint64, uint64) {
 			return s.Sent, s.Dropped, s.Corrupted
 		},
 	})
+}
+
+// registerWire appends a wire to the health inputs and, if the
+// controller is instrumented, exposes its counters immediately.
+func (c *Controller) registerWire(w wireRef) {
+	c.health.wires = append(c.health.wires, w)
+	c.instrumentWire(w)
 }
 
 // RegisterVoice is RegisterSounder for a Voice-wrapped sounder.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mdn/internal/netsim"
+	"mdn/internal/telemetry"
 )
 
 // Heartbeat is the liveness counterpart of fan monitoring: every
@@ -25,8 +26,15 @@ type Heartbeat struct {
 	devices map[float64]*heartbeatDevice
 	freqs   []float64
 
-	// Alerts accumulates raised alerts.
+	// HistoryMax bounds Alerts to the last N entries (0 means
+	// DefaultHistoryMax).
+	HistoryMax int
+	// HistoryDropped counts entries evicted from Alerts by the bound.
+	HistoryDropped uint64
+	// Alerts accumulates raised alerts (last HistoryMax).
 	Alerts []HeartbeatAlert
+
+	events uint64 // alerts raised, including evicted ones
 }
 
 type heartbeatDevice struct {
@@ -138,11 +146,23 @@ func (hb *Heartbeat) check(now float64) {
 		dev.missed++
 		if dev.missed >= hb.MissThreshold && !dev.alerted {
 			dev.alerted = true
-			hb.Alerts = append(hb.Alerts, HeartbeatAlert{
+			hb.events++
+			hb.Alerts = appendBounded(hb.Alerts, HeartbeatAlert{
 				Time: now, Device: dev.name, MissedBeats: dev.missed,
-			})
+			}, hb.HistoryMax, &hb.HistoryDropped)
 		}
 	}
+}
+
+// Instrument exposes the monitor's counters under app="heartbeat".
+// name labels the controller (heartbeats span switches).
+func (hb *Heartbeat) Instrument(reg *telemetry.Registry, name string) {
+	reg.Func(appLabels(metricAppOnsets, "heartbeat", name),
+		func() float64 { return float64(hb.onset.Onsets) })
+	reg.Func(appLabels(metricAppEvents, "heartbeat", name),
+		func() float64 { return float64(hb.events) })
+	reg.Func(appLabels(metricAppHistoryDropped, "heartbeat", name),
+		func() float64 { return float64(hb.HistoryDropped) })
 }
 
 // BeatsOf returns how many heartbeats of the named device were heard.

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"mdn/internal/netsim"
+	"mdn/internal/telemetry"
 )
 
 // HeavyHitter is the Section 5 telemetry application: the switch
@@ -27,10 +28,20 @@ type HeavyHitter struct {
 	counts     map[float64]int
 	intervalAt float64
 
-	// Reports accumulates flagged buckets.
+	// HistoryMax bounds Reports and History to the last N entries
+	// each (0 means DefaultHistoryMax).
+	HistoryMax int
+	// HistoryDropped counts entries evicted from Reports and History
+	// by the bound.
+	HistoryDropped uint64
+
+	// Reports accumulates flagged buckets (last HistoryMax).
 	Reports []HHReport
-	// History records per-interval counts for plotting (Figure 4a-b).
+	// History records per-interval counts for plotting (Figure 4a-b),
+	// bounded like Reports.
 	History []HHSample
+
+	events uint64 // reports raised, including evicted ones
 }
 
 // HHReport is one heavy-hitter detection.
@@ -114,13 +125,25 @@ func (hh *HeavyHitter) closeInterval(now float64) {
 			sample.Counts[i] = c
 		}
 		if c >= hh.Threshold {
-			hh.Reports = append(hh.Reports, HHReport{
+			hh.events++
+			hh.Reports = appendBounded(hh.Reports, HHReport{
 				Time: now, Frequency: f, Bucket: i, Count: c,
-			})
+			}, hh.HistoryMax, &hh.HistoryDropped)
 		}
 	}
-	hh.History = append(hh.History, sample)
+	hh.History = appendBounded(hh.History, sample, hh.HistoryMax, &hh.HistoryDropped)
 	hh.counts = make(map[float64]int)
+}
+
+// Instrument exposes the application's counters under
+// app="heavyhitter", switch=switchName.
+func (hh *HeavyHitter) Instrument(reg *telemetry.Registry, switchName string) {
+	reg.Func(appLabels(metricAppOnsets, "heavyhitter", switchName),
+		func() float64 { return float64(hh.onset.Onsets) })
+	reg.Func(appLabels(metricAppEvents, "heavyhitter", switchName),
+		func() float64 { return float64(hh.events) })
+	reg.Func(appLabels(metricAppHistoryDropped, "heavyhitter", switchName),
+		func() float64 { return float64(hh.HistoryDropped) })
 }
 
 // FlaggedBuckets returns the distinct flagged bucket indices, sorted.

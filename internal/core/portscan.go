@@ -2,6 +2,7 @@ package core
 
 import (
 	"mdn/internal/netsim"
+	"mdn/internal/telemetry"
 )
 
 // PortScan is the Section 5 security-telemetry application: the
@@ -24,13 +25,23 @@ type PortScan struct {
 	freqs []float64
 	onset *OnsetFilter
 
-	seen map[float64]bool
+	seen    map[float64]bool
+	alerted bool // alert already raised in the current interval
 
-	// Alerts accumulates raised alerts.
+	// HistoryMax bounds Alerts and Sweep to the last N entries each
+	// (0 means DefaultHistoryMax).
+	HistoryMax int
+	// HistoryDropped counts entries evicted from Alerts and Sweep by
+	// the bound.
+	HistoryDropped uint64
+
+	// Alerts accumulates raised alerts (last HistoryMax).
 	Alerts []ScanAlert
-	// Sweep records every onset in time order, for the spectrogram
-	// view.
+	// Sweep records onsets in time order for the spectrogram view,
+	// bounded like Alerts.
 	Sweep []Detection
+
+	events uint64 // alerts raised, including evicted ones
 }
 
 // ScanAlert is one port-scan detection.
@@ -103,22 +114,41 @@ func (ps *PortScan) Start(ctrl *Controller, at float64) {
 	})
 }
 
-// HandleWindow consumes one detection window.
+// HandleWindow consumes one detection window. The alert fires the
+// moment the distinct-port count crosses Threshold — not at the end
+// of the interval — and at most once per interval; the guard re-arms
+// when the interval closes.
 func (ps *PortScan) HandleWindow(_ float64, dets []Detection) {
 	for _, det := range ps.onset.Step(dets) {
 		if _, ok := ps.PortFor(det.Frequency); !ok {
 			continue
 		}
 		ps.seen[det.Frequency] = true
-		ps.Sweep = append(ps.Sweep, det)
+		ps.Sweep = appendBounded(ps.Sweep, det, ps.HistoryMax, &ps.HistoryDropped)
+		if len(ps.seen) >= ps.Threshold && !ps.alerted {
+			ps.alerted = true
+			ps.events++
+			ps.Alerts = appendBounded(ps.Alerts, ScanAlert{
+				Time: det.Time, DistinctPorts: len(ps.seen),
+			}, ps.HistoryMax, &ps.HistoryDropped)
+		}
 	}
 }
 
-func (ps *PortScan) closeInterval(now float64) {
-	if len(ps.seen) >= ps.Threshold {
-		ps.Alerts = append(ps.Alerts, ScanAlert{Time: now, DistinctPorts: len(ps.seen)})
-	}
+func (ps *PortScan) closeInterval(_ float64) {
 	ps.seen = make(map[float64]bool)
+	ps.alerted = false
+}
+
+// Instrument exposes the application's counters under app="portscan",
+// switch=switchName.
+func (ps *PortScan) Instrument(reg *telemetry.Registry, switchName string) {
+	reg.Func(appLabels(metricAppOnsets, "portscan", switchName),
+		func() float64 { return float64(ps.onset.Onsets) })
+	reg.Func(appLabels(metricAppEvents, "portscan", switchName),
+		func() float64 { return float64(ps.events) })
+	reg.Func(appLabels(metricAppHistoryDropped, "portscan", switchName),
+		func() float64 { return float64(ps.HistoryDropped) })
 }
 
 // SweepIsMonotone reports whether the recorded sweep's frequencies

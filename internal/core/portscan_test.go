@@ -88,6 +88,93 @@ func TestPortScanDetectsUnderSongNoise(t *testing.T) {
 	}
 }
 
+// feedPort runs one confirmed onset for freq through the filter: two
+// consecutive present windows (ConfirmWindows=2) then one silent
+// window so the next port's probe starts clean.
+func feedPort(ps *PortScan, at float64, freq float64) float64 {
+	det := Detection{Time: at, Frequency: freq, Amplitude: 0.01}
+	ps.HandleWindow(at, []Detection{det})
+	at += 0.05
+	det.Time = at
+	ps.HandleWindow(at, []Detection{det}) // confirmed here
+	at += 0.05
+	ps.HandleWindow(at, nil)
+	return at + 0.05
+}
+
+// TestPortScanOneAlertPerInterval is the regression test for the
+// duplicate-alert bug: within one interval the alert fires exactly
+// once, at the moment the distinct-port count crosses Threshold, no
+// matter how many more ports the scan touches afterwards. A new
+// interval re-arms it.
+func TestPortScanOneAlertPerInterval(t *testing.T) {
+	bed := newScanBed(t, 36, 8000, 12)
+	ps := bed.ps
+	ps.Threshold = 3
+	freqs := ps.Frequencies()
+
+	// Sweep 8 ports — well past the threshold of 3 — in one interval.
+	at := 1.0
+	for i := 0; i < 8; i++ {
+		at = feedPort(ps, at, freqs[i])
+	}
+	if len(ps.Alerts) != 1 {
+		t.Fatalf("one interval raised %d alerts, want exactly 1", len(ps.Alerts))
+	}
+	// The alert fires at the crossing: exactly Threshold distinct
+	// ports, not the interval's final count.
+	if got := ps.Alerts[0].DistinctPorts; got != ps.Threshold {
+		t.Errorf("alert at %d distinct ports, want %d (fire at crossing)", got, ps.Threshold)
+	}
+	// Its timestamp is the third port's confirmation window, long
+	// before the eighth probe.
+	if ps.Alerts[0].Time >= at-0.1 {
+		t.Errorf("alert time %g not at the crossing (sweep ended %g)", ps.Alerts[0].Time, at)
+	}
+
+	// Interval closes: the guard re-arms and a fresh sweep raises
+	// exactly one more alert.
+	ps.closeInterval(at)
+	for i := 0; i < 6; i++ {
+		at = feedPort(ps, at, freqs[i])
+	}
+	if len(ps.Alerts) != 2 {
+		t.Fatalf("after interval close, %d alerts total, want 2", len(ps.Alerts))
+	}
+	if ps.events != 2 {
+		t.Errorf("events counter = %d, want 2", ps.events)
+	}
+}
+
+// TestPortScanHistoryBounded pins the keep-last-N bound on Sweep with
+// the eviction counter.
+func TestPortScanHistoryBounded(t *testing.T) {
+	bed := newScanBed(t, 37, 8000, 12)
+	ps := bed.ps
+	ps.HistoryMax = 4
+	ps.Threshold = 100 // never alert; isolate the Sweep bound
+	freqs := ps.Frequencies()
+	at := 1.0
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 5; i++ {
+			at = feedPort(ps, at, freqs[i])
+		}
+		ps.closeInterval(at)
+	}
+	if len(ps.Sweep) != 4 {
+		t.Errorf("sweep holds %d entries, want bound of 4", len(ps.Sweep))
+	}
+	if ps.HistoryDropped != 6 {
+		t.Errorf("HistoryDropped = %d, want 6 (10 onsets - 4 kept)", ps.HistoryDropped)
+	}
+	// The survivors are the most recent onsets.
+	for i := 1; i < len(ps.Sweep); i++ {
+		if ps.Sweep[i].Time < ps.Sweep[i-1].Time {
+			t.Fatal("bounded sweep out of order")
+		}
+	}
+}
+
 func TestPortScanFrequencyMapping(t *testing.T) {
 	bed := newScanBed(t, 33, 100, 10)
 	if f := bed.ps.FrequencyFor(99); f != 0 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"mdn/internal/netsim"
+	"mdn/internal/telemetry"
 )
 
 // Queue occupancy levels, matching the paper's Section 6 thresholds:
@@ -48,13 +49,24 @@ type QueueMonitor struct {
 	freqs [3]float64
 	onset *OnsetFilter
 
+	// HistoryMax bounds QueueSeries, ToneLog and Heard to the last N
+	// entries each (0 means DefaultHistoryMax).
+	HistoryMax int
+	// HistoryDropped counts entries evicted from the three logs by
+	// the bound.
+	HistoryDropped uint64
+
 	// QueueSeries records the switch-side occupancy samples
-	// (Figure 5a/5c ground truth).
+	// (Figure 5a/5c ground truth), last HistoryMax.
 	QueueSeries []netsim.Sample
-	// ToneLog records the switch-side tones as (time, level).
+	// ToneLog records the switch-side tones as (time, level), bounded
+	// like QueueSeries.
 	ToneLog []LevelSample
-	// Heard records the controller-side decoded levels.
+	// Heard records the controller-side decoded levels, bounded like
+	// QueueSeries.
 	Heard []LevelSample
+
+	heard uint64 // levels decoded, including evicted ones
 }
 
 // LevelSample is one decoded or emitted queue level.
@@ -137,9 +149,11 @@ func (qm *QueueMonitor) LevelFor(freq float64) int {
 func (qm *QueueMonitor) StartSwitchSide(sim *netsim.Sim, at float64) *netsim.Ticker {
 	return sim.Every(at, qm.SampleInterval, func(now float64) {
 		qLen := qm.sw.QueueLen(qm.port)
-		qm.QueueSeries = append(qm.QueueSeries, netsim.Sample{Time: now, Value: float64(qLen)})
+		qm.QueueSeries = appendBounded(qm.QueueSeries, netsim.Sample{Time: now, Value: float64(qLen)},
+			qm.HistoryMax, &qm.HistoryDropped)
 		lvl := qm.LevelOf(qLen)
-		qm.ToneLog = append(qm.ToneLog, LevelSample{Time: now, Level: lvl})
+		qm.ToneLog = appendBounded(qm.ToneLog, LevelSample{Time: now, Level: lvl},
+			qm.HistoryMax, &qm.HistoryDropped)
 		qm.voice.Play(qm.freqs[lvl])
 	})
 }
@@ -149,9 +163,22 @@ func (qm *QueueMonitor) StartSwitchSide(sim *netsim.Sim, at float64) *netsim.Tic
 func (qm *QueueMonitor) HandleWindow(_ float64, dets []Detection) {
 	for _, det := range qm.onset.Step(dets) {
 		if lvl := qm.LevelFor(det.Frequency); lvl >= 0 {
-			qm.Heard = append(qm.Heard, LevelSample{Time: det.Time, Level: lvl})
+			qm.heard++
+			qm.Heard = appendBounded(qm.Heard, LevelSample{Time: det.Time, Level: lvl},
+				qm.HistoryMax, &qm.HistoryDropped)
 		}
 	}
+}
+
+// Instrument exposes the monitor's counters under app="queuemon",
+// switch=switchName. Events are decoded queue levels.
+func (qm *QueueMonitor) Instrument(reg *telemetry.Registry, switchName string) {
+	reg.Func(appLabels(metricAppOnsets, "queuemon", switchName),
+		func() float64 { return float64(qm.onset.Onsets) })
+	reg.Func(appLabels(metricAppEvents, "queuemon", switchName),
+		func() float64 { return float64(qm.heard) })
+	reg.Func(appLabels(metricAppHistoryDropped, "queuemon", switchName),
+		func() float64 { return float64(qm.HistoryDropped) })
 }
 
 // HeardLevels collapses the controller-side log to its level sequence

@@ -56,6 +56,42 @@ func TestQueueMonitorLevelOf(t *testing.T) {
 	}
 }
 
+func TestQueueMonitorLevelOfBoundaries(t *testing.T) {
+	// The paper's Section 6 spec: <25 packets plays 500 Hz (low),
+	// 25–75 plays 600 Hz (mid), >75 plays 700 Hz (high). Both
+	// boundaries are pinned exactly, for the defaults and for custom
+	// thresholds.
+	tb := newTestbed(46)
+	voice := tb.voiceAt("s1", acoustic.Position{X: 1})
+	sw := netsim.NewSwitch(tb.sim, "s1")
+	cases := []struct {
+		name      string
+		low, high int // 0,0 = keep defaults (25, 75)
+		qlen      int
+		want      int
+	}{
+		{"default below low boundary", 0, 0, 24, LevelLow},
+		{"default at low boundary", 0, 0, 25, LevelMid},
+		{"default at high boundary", 0, 0, 75, LevelMid},
+		{"default above high boundary", 0, 0, 76, LevelHigh},
+		{"custom below low boundary", 10, 20, 9, LevelLow},
+		{"custom at low boundary", 10, 20, 10, LevelMid},
+		{"custom at high boundary", 10, 20, 20, LevelMid},
+		{"custom above high boundary", 10, 20, 21, LevelHigh},
+	}
+	for _, tc := range cases {
+		qm := NewQueueMonitorWithTones(sw, 1, voice, DefaultQueueFrequencies)
+		if tc.low != 0 {
+			qm.LowThreshold = tc.low
+			qm.HighThreshold = tc.high
+		}
+		if got := qm.LevelOf(tc.qlen); got != tc.want {
+			t.Errorf("%s: LevelOf(%d) = %s, want %s",
+				tc.name, tc.qlen, LevelName(got), LevelName(tc.want))
+		}
+	}
+}
+
 func TestQueueMonitorTracksRampAndDrain(t *testing.T) {
 	// Egress 1 Mbps ≈ 83 pps at 1500 B. Offered: ramp 50 -> 300 pps
 	// over 4 s, then stop and drain.

@@ -6,6 +6,7 @@ import (
 	"net/netip"
 
 	"mdn/internal/netsim"
+	"mdn/internal/telemetry"
 )
 
 // SpreadMode selects what the spread detector watches.
@@ -61,10 +62,20 @@ type SpreadDetector struct {
 
 	seen map[float64]bool
 
-	// Alerts accumulates raised alerts.
+	// HistoryMax bounds Alerts and History to the last N entries each
+	// (0 means DefaultHistoryMax).
+	HistoryMax int
+	// HistoryDropped counts entries evicted from Alerts and History by
+	// the bound.
+	HistoryDropped uint64
+
+	// Alerts accumulates raised alerts (last HistoryMax).
 	Alerts []SpreadAlert
-	// History records per-interval distinct counts.
+	// History records per-interval distinct counts, bounded like
+	// Alerts.
 	History []netsim.Sample
+
+	events uint64 // alerts raised, including evicted ones
 }
 
 // SpreadAlert is one spread detection.
@@ -160,9 +171,24 @@ func (sd *SpreadDetector) HandleWindow(_ float64, dets []Detection) {
 
 func (sd *SpreadDetector) closeInterval(now float64) {
 	distinct := len(sd.seen)
-	sd.History = append(sd.History, netsim.Sample{Time: now, Value: float64(distinct)})
+	sd.History = appendBounded(sd.History, netsim.Sample{Time: now, Value: float64(distinct)},
+		sd.HistoryMax, &sd.HistoryDropped)
 	if distinct > sd.K {
-		sd.Alerts = append(sd.Alerts, SpreadAlert{Time: now, Distinct: distinct})
+		sd.events++
+		sd.Alerts = appendBounded(sd.Alerts, SpreadAlert{Time: now, Distinct: distinct},
+			sd.HistoryMax, &sd.HistoryDropped)
 	}
 	sd.seen = make(map[float64]bool)
+}
+
+// Instrument exposes the detector's counters under
+// app="spread-<mode>", switch=switchName.
+func (sd *SpreadDetector) Instrument(reg *telemetry.Registry, switchName string) {
+	app := "spread-" + sd.Mode.String()
+	reg.Func(appLabels(metricAppOnsets, app, switchName),
+		func() float64 { return float64(sd.onset.Onsets) })
+	reg.Func(appLabels(metricAppEvents, app, switchName),
+		func() float64 { return float64(sd.events) })
+	reg.Func(appLabels(metricAppHistoryDropped, app, switchName),
+		func() float64 { return float64(sd.HistoryDropped) })
 }

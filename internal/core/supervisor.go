@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+
+	"mdn/internal/telemetry"
 )
 
 // subscriber is one supervised handler registration. The controller
@@ -22,6 +24,11 @@ type subscriber struct {
 	panics        uint64
 	quarantined   bool
 	quarantinedAt float64
+
+	// dispatch records per-call handler wall time when the controller
+	// is instrumented (nil otherwise — observing a nil histogram is a
+	// no-op).
+	dispatch *telemetry.Histogram
 }
 
 // DefaultQuarantineThreshold is how many consecutive panics disable a
@@ -49,9 +56,12 @@ func (c *Controller) invoke(s *subscriber, call func()) {
 	if s.quarantined {
 		return
 	}
+	sp := telemetry.StartSpan(s.dispatch, c.tm.wall)
 	defer func() {
+		sp.End()
 		if r := recover(); r != nil {
 			c.HandlerPanics++
+			c.tm.panics.Inc()
 			s.panics++
 			s.consecutive++
 			now := c.sim.Now()
@@ -63,6 +73,7 @@ func (c *Controller) invoke(s *subscriber, call func()) {
 			if s.consecutive >= threshold {
 				s.quarantined = true
 				s.quarantinedAt = now
+				c.tm.quarantines.Inc()
 				c.Errors.Record(now, s.name, fmt.Errorf(
 					"%w: %s disabled after %d consecutive panics", ErrQuarantined, s.name, s.consecutive))
 			}
@@ -70,7 +81,11 @@ func (c *Controller) invoke(s *subscriber, call func()) {
 		}
 		s.consecutive = 0
 	}()
-	call()
+	if c.ProfileSubscribers {
+		telemetry.Do("mdn_subscriber", s.name, call)
+	} else {
+		call()
+	}
 }
 
 // snapshotSubs copies the subscriber list under the registration lock
@@ -94,6 +109,7 @@ func (c *Controller) addSubscriber(s *subscriber) {
 		}
 		s.name = fmt.Sprintf("%s-%d", kind, c.autoName)
 	}
+	c.instrumentSub(s)
 	c.subs = append(c.subs, s)
 }
 

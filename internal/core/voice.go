@@ -3,6 +3,7 @@ package core
 import (
 	"mdn/internal/mp"
 	"mdn/internal/netsim"
+	"mdn/internal/telemetry"
 )
 
 // Voice is a switch's tone-emitting side: it turns application events
@@ -79,3 +80,12 @@ func (v *Voice) PlayMessage(m mp.Message) {
 // fault injection and for registering its counters with the
 // controller's Health snapshot.
 func (v *Voice) Sounder() *mp.Sounder { return v.sounder }
+
+// Instrument exposes the voice's emission counters under
+// switch=switchName.
+func (v *Voice) Instrument(reg *telemetry.Registry, switchName string) {
+	reg.Func(telemetry.Label(metricVoiceEmitted, "switch", switchName),
+		func() float64 { return float64(v.Emitted) })
+	reg.Func(telemetry.Label(metricVoiceSuppressed, "switch", switchName),
+		func() float64 { return float64(v.Suppressed) })
+}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"mdn/internal/acoustic"
 	"mdn/internal/audio"
@@ -113,13 +112,13 @@ func Fig2b() *Result {
 		// Fresh phase noise per run so the data isn't cache-warm in
 		// a single pattern.
 		j := rng.Intn(len(window))
-		start := time.Now()
+		start := stageClock.Now()
 		for k := 0; k < n; k++ {
 			frame[k] = window[(j+k)%len(window)]
 		}
 		spec = plan.RealSpectrumInto(spec, frame)
 		mags = dsp.MagnitudesInto(mags, spec)
-		cdf.Add(time.Since(start).Seconds() * 1e3) // ms
+		cdf.Add((stageClock.Now() - start) * 1e3) // ms
 	}
 	_ = mags
 

@@ -12,13 +12,10 @@ func TestServerOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var mu sync.Mutex
-	var got []Message
-	srv := &Server{Handler: func(m Message) {
-		mu.Lock()
-		got = append(got, m)
-		mu.Unlock()
-	}}
+	// The handler delivers into a channel so the test blocks on real
+	// arrival instead of polling the wall clock.
+	recv := make(chan Message, 16)
+	srv := &Server{Handler: func(m Message) { recv <- m }}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
@@ -39,24 +36,15 @@ func TestServerOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		mu.Lock()
-		n := len(got)
-		mu.Unlock()
-		if n == len(want) {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("received %d of %d messages", n, len(want))
-		}
-		time.Sleep(time.Millisecond)
-	}
-	mu.Lock()
-	defer mu.Unlock()
-	for i := range want {
-		if got[i] != want[i] {
-			t.Errorf("msg %d = %+v, want %+v", i, got[i], want[i])
+	timeout := time.After(10 * time.Second)
+	for i, w := range want {
+		select {
+		case m := <-recv:
+			if m != w {
+				t.Errorf("msg %d = %+v, want %+v", i, m, w)
+			}
+		case <-timeout:
+			t.Fatalf("received %d of %d messages", i, len(want))
 		}
 	}
 	if err := srv.Close(); err != nil {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"mdn/internal/telemetry"
 )
 
 // ErrRetriesExhausted reports a flow-programming operation that
@@ -53,6 +55,15 @@ type Programmer struct {
 	Installs   uint64
 	Duplicates uint64
 	Failures   uint64
+
+	// Telemetry handles, nil until Instrument; every update is
+	// nil-safe.
+	tmAttempts   *telemetry.Counter
+	tmRetries    *telemetry.Counter
+	tmInstalls   *telemetry.Counter
+	tmDuplicates *telemetry.Counter
+	tmFailures   *telemetry.Counter
+	tmProgram    *telemetry.Histogram
 }
 
 // Programming defaults.
@@ -80,6 +91,27 @@ func NewProgrammer(ch *Channel, seed int64) *Programmer {
 // Channel returns the wrapped channel.
 func (p *Programmer) Channel() *Channel { return p.ch }
 
+// Instrument registers the programmer's counters and its
+// flow-programming latency histogram with reg, labelled by the
+// channel's switch name:
+//
+//	mdn_flow_{attempts,retries,installs,duplicates,failures}_total{switch}
+//	mdn_flow_program_seconds{switch}
+//
+// The histogram measures Install→outcome in *virtual* seconds — it is
+// a protocol latency (backoff schedule plus wire round trips), so the
+// same seed reproduces the same distribution exactly.
+func (p *Programmer) Instrument(reg *telemetry.Registry) {
+	name := p.ch.Switch().Name
+	label := func(metric string) string { return telemetry.Label(metric, "switch", name) }
+	p.tmAttempts = reg.Counter(label("mdn_flow_attempts_total"))
+	p.tmRetries = reg.Counter(label("mdn_flow_retries_total"))
+	p.tmInstalls = reg.Counter(label("mdn_flow_installs_total"))
+	p.tmDuplicates = reg.Counter(label("mdn_flow_duplicates_total"))
+	p.tmFailures = reg.Counter(label("mdn_flow_failures_total"))
+	p.tmProgram = reg.Histogram(label("mdn_flow_program_seconds"), telemetry.DefaultLatencyBuckets)
+}
+
 // Forget drops the rule's idempotency key, so a later Install sends it
 // again. Callers use it when re-installation is deliberate — a
 // re-triggered application intent — rather than a retry.
@@ -106,30 +138,34 @@ func (p *Programmer) Install(m FlowMod) error {
 	key := string(wire)
 	if p.installed[key] {
 		p.Duplicates++
+		p.tmDuplicates.Inc()
 		return nil
 	}
 	p.pending++
-	p.attempt(m, key, 0)
+	p.attempt(m, key, 0, p.ch.Sim().Now())
 	return nil
 }
 
-func (p *Programmer) attempt(m FlowMod, key string, try int) {
+func (p *Programmer) attempt(m FlowMod, key string, try int, start float64) {
 	p.Attempts++
+	p.tmAttempts.Inc()
 	if try > 0 {
 		p.Retries++
+		p.tmRetries.Inc()
 	}
 	delivered, err := p.ch.TrySendFlowMod(m)
 	if err != nil {
 		// Validate passed at Install time; a send error here means the
 		// channel (without fault injection) failed the wire round
 		// trip — terminal.
-		p.finish(m, fmt.Errorf("%w: %v", ErrRetriesExhausted, err))
+		p.finish(m, start, fmt.Errorf("%w: %v", ErrRetriesExhausted, err))
 		return
 	}
 	if delivered {
 		p.installed[key] = true
 		p.Installs++
-		p.finish(m, nil)
+		p.tmInstalls.Inc()
+		p.finish(m, start, nil)
 		return
 	}
 	max := p.MaxAttempts
@@ -138,15 +174,17 @@ func (p *Programmer) attempt(m FlowMod, key string, try int) {
 	}
 	if try+1 >= max {
 		p.Failures++
-		p.finish(m, fmt.Errorf("%w: %d attempts lost on %q",
+		p.tmFailures.Inc()
+		p.finish(m, start, fmt.Errorf("%w: %d attempts lost on %q",
 			ErrRetriesExhausted, try+1, p.ch.Switch().Name))
 		return
 	}
-	p.ch.Sim().After(p.backoff(try), func() { p.attempt(m, key, try+1) })
+	p.ch.Sim().After(p.backoff(try), func() { p.attempt(m, key, try+1, start) })
 }
 
-func (p *Programmer) finish(m FlowMod, err error) {
+func (p *Programmer) finish(m FlowMod, start float64, err error) {
 	p.pending--
+	p.tmProgram.Observe(p.ch.Sim().Now() - start)
 	if p.OnResult != nil {
 		p.OnResult(m, err)
 	}

@@ -10,6 +10,7 @@ import (
 	"mdn/internal/mp"
 	"mdn/internal/netsim"
 	"mdn/internal/openflow"
+	"mdn/internal/telemetry"
 )
 
 // Chaos is the supervised runtime's proving ground: it runs full
@@ -87,6 +88,14 @@ type ChaosReport struct {
 	Seed      int64        `json:"seed"`
 	DurationS float64      `json:"duration_s"`
 	Points    []ChaosPoint `json:"points"`
+
+	// Metrics is the sweep's aggregate telemetry snapshot: every point
+	// shares one registry, so counters and histograms accumulate across
+	// the whole sweep. It is excluded from the JSON report because the
+	// wall-clock histograms (decode, dispatch) vary run to run — the
+	// JSON stays byte-identical per config; dump Metrics.Text() for the
+	// Prometheus view.
+	Metrics *telemetry.Snapshot `json:"-"`
 }
 
 // RunChaos executes the sweep and returns its report.
@@ -104,6 +113,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		names = ChaosScenarioNames
 	}
 	rep := &ChaosReport{Seed: cfg.Seed, DurationS: dur}
+	reg := telemetry.New()
 	for si, name := range names {
 		run, ok := chaosScenarios[name]
 		if !ok {
@@ -124,7 +134,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 				// visibly correlated across sequential seeds.
 				Seed: mixSeed(cfg.Seed*10000 + int64(si)*100 + int64(ri)),
 			}
-			pt := run(faults, dur)
+			pt := run(reg, faults, dur)
 			pt.Scenario = name
 			pt.DropRate = rate
 			if pt.GroundTruth > 0 {
@@ -133,6 +143,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 			rep.Points = append(rep.Points, pt)
 		}
 	}
+	snap := reg.Snapshot()
+	rep.Metrics = &snap
 	return rep, nil
 }
 
@@ -161,8 +173,9 @@ func mixSeed(s int64) int64 {
 	return int64(z ^ (z >> 31))
 }
 
-// chaosRun measures one pipeline under one fault setting.
-type chaosRun func(faults netsim.Faults, dur float64) ChaosPoint
+// chaosRun measures one pipeline under one fault setting, recording
+// its telemetry into the sweep's shared registry.
+type chaosRun func(reg *telemetry.Registry, faults netsim.Faults, dur float64) ChaosPoint
 
 var chaosScenarios = map[string]chaosRun{
 	"portknock":   chaosPortKnock,
@@ -179,9 +192,10 @@ type chaosEnv struct {
 	voice *core.Voice
 	ctrl  *core.Controller
 	plan  *core.FrequencyPlan
+	reg   *telemetry.Registry
 }
 
-func newChaosEnv(faults netsim.Faults) *chaosEnv {
+func newChaosEnv(reg *telemetry.Registry, faults netsim.Faults) *chaosEnv {
 	sim := netsim.NewSim()
 	room := acoustic.NewRoom(44100, faults.Seed)
 	mic := room.AddMicrophone("controller", acoustic.Position{}, 0.0005)
@@ -190,8 +204,14 @@ func newChaosEnv(faults netsim.Faults) *chaosEnv {
 	voice := core.NewVoice(sim, mp.NewSounder(mp.NewPi(sim, sp, 0.002)))
 	voice.Sounder().InjectFaults(faults)
 	ctrl := core.NewController(sim, mic, core.NewDetector(core.MethodGoertzel, nil))
+	// Instrument before registering wires so the acoustic hop's fault
+	// counters are exposed too. All points share reg: the registry's
+	// get-or-create semantics merge each point's counters into one
+	// sweep-wide series set.
+	ctrl.Instrument(reg)
 	ctrl.RegisterVoice("s1", voice)
-	return &chaosEnv{sim: sim, sw: sw, voice: voice, ctrl: ctrl, plan: core.DefaultPlan()}
+	voice.Instrument(reg, "s1")
+	return &chaosEnv{sim: sim, sw: sw, voice: voice, ctrl: ctrl, plan: core.DefaultPlan(), reg: reg}
 }
 
 // addCanary registers a subscriber that panics on its first two
@@ -249,8 +269,8 @@ func flowCounters(p *openflow.Programmer, pt *ChaosPoint) {
 // acoustic pipeline; truth is the number of rounds offered, detection
 // is the FSM's accept count, and the accepted sequence installs the
 // open rule through the retrying programmer.
-func chaosPortKnock(faults netsim.Faults, dur float64) ChaosPoint {
-	e := newChaosEnv(faults)
+func chaosPortKnock(reg *telemetry.Registry, faults netsim.Faults, dur float64) ChaosPoint {
+	e := newChaosEnv(reg, faults)
 	ch := e.channel(faults)
 	seq := []uint16{7001, 7002, 7003}
 	rule := openflow.FlowMod{Command: openflow.FlowAdd, Priority: 10, Action: netsim.Drop()}
@@ -259,6 +279,7 @@ func chaosPortKnock(faults netsim.Faults, dur float64) ChaosPoint {
 		return ChaosPoint{Notes: "setup failed: " + err.Error()}
 	}
 	pk.SetErrorLog(e.ctrl.Errors)
+	pk.Programmer().Instrument(e.reg)
 	e.ctrl.Detector.AddWatch(pk.Frequencies()...)
 	e.ctrl.SubscribeWindowsNamed("portknock", pk.HandleWindow)
 	e.addCanary()
@@ -290,12 +311,13 @@ func chaosPortKnock(faults netsim.Faults, dur float64) ChaosPoint {
 // chaosHeavyHitter pushes one hot flow through the switch tap; truth
 // is the number of complete traffic intervals, detection the intervals
 // the hot bucket was flagged in.
-func chaosHeavyHitter(faults netsim.Faults, dur float64) ChaosPoint {
-	e := newChaosEnv(faults)
+func chaosHeavyHitter(reg *telemetry.Registry, faults netsim.Faults, dur float64) ChaosPoint {
+	e := newChaosEnv(reg, faults)
 	hh, err := core.NewHeavyHitter(e.plan, "s1", e.voice, 4)
 	if err != nil {
 		return ChaosPoint{Notes: "setup failed: " + err.Error()}
 	}
+	hh.Instrument(e.reg, "s1")
 	// The Voice's per-frequency rate limit caps tone onsets near
 	// 5/s, so flag on 2 onsets per 1 s interval.
 	hh.Threshold = 2
@@ -332,13 +354,15 @@ func chaosHeavyHitter(faults netsim.Faults, dur float64) ChaosPoint {
 // schedule; truth is tones offered, detection the confirmed high-level
 // onsets the controller heard, and the first one must drive the split
 // rule through the retrying programmer.
-func chaosLoadBalance(faults netsim.Faults, dur float64) ChaosPoint {
-	e := newChaosEnv(faults)
+func chaosLoadBalance(reg *telemetry.Registry, faults netsim.Faults, dur float64) ChaosPoint {
+	e := newChaosEnv(reg, faults)
 	ch := e.channel(faults)
 	qm := core.NewQueueMonitorWithTones(e.sw, 2, e.voice, core.DefaultQueueFrequencies)
+	qm.Instrument(e.reg, "s1")
 	rule := openflow.FlowMod{Command: openflow.FlowAdd, Priority: 5, Action: netsim.Drop()}
 	lb := core.NewLoadBalancer(qm, ch, rule)
 	lb.SetErrorLog(e.ctrl.Errors)
+	lb.Programmer().Instrument(e.reg)
 	e.ctrl.Detector.AddWatch(qm.Frequencies()...)
 	e.ctrl.SubscribeWindowsNamed("queuemon", qm.HandleWindow)
 	e.ctrl.SubscribeWindowsNamed("loadbalance", lb.HandleWindow)
@@ -371,9 +395,10 @@ func chaosLoadBalance(faults netsim.Faults, dur float64) ChaosPoint {
 // wire-sample floor), kills it at 60% of the run, and measures heard
 // beats against played ones; the monitor must still raise its death
 // alert.
-func chaosHeartbeat(faults netsim.Faults, dur float64) ChaosPoint {
-	e := newChaosEnv(faults)
+func chaosHeartbeat(reg *telemetry.Registry, faults netsim.Faults, dur float64) ChaosPoint {
+	e := newChaosEnv(reg, faults)
 	hb := core.NewHeartbeat()
+	hb.Instrument(e.reg, "s1")
 	hb.Period = 0.3
 	f, err := hb.Register(e.plan, "s1", e.voice)
 	if err != nil {

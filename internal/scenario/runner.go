@@ -8,6 +8,7 @@ import (
 	"mdn/internal/core"
 	"mdn/internal/mp"
 	"mdn/internal/netsim"
+	"mdn/internal/telemetry"
 )
 
 // Report is what a scenario run produces.
@@ -27,6 +28,12 @@ type Report struct {
 	// Health is the controller's end-of-run health snapshot: verdict,
 	// recovered panics, quarantines, and wire fault counters.
 	Health *core.HealthSnapshot `json:"health,omitempty"`
+	// Metrics is the end-of-run telemetry snapshot: every counter and
+	// latency histogram the instrumented pipeline recorded. Counter
+	// values are reproducible across runs of the same config; the
+	// wall-clock histograms (decode and dispatch time) are not, so the
+	// field sits next to Health rather than inside it.
+	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
 // HostReport is one host's counters.
@@ -128,8 +135,11 @@ func Run(c *Config) (*Report, error) {
 	// Applications, via the manager. Every switch's control hop feeds
 	// the controller's health snapshot.
 	mgr := core.NewManager(sim, mic, plan)
+	reg := telemetry.New()
+	mgr.Ctrl.Instrument(reg)
 	for _, sc := range c.Switches {
 		mgr.Ctrl.RegisterVoice(sc.Name, voices[sc.Name])
+		voices[sc.Name].Instrument(reg, sc.Name)
 	}
 	type deployed struct {
 		cfg AppConfig
@@ -153,6 +163,7 @@ func Run(c *Config) (*Report, error) {
 			if err := mgr.Deploy(hh); err != nil {
 				return nil, err
 			}
+			hh.Instrument(reg, ac.Switch)
 			taps[ac.Switch] = append(taps[ac.Switch], hh.Tap)
 			apps = append(apps, deployed{ac, hh})
 		case "portscan":
@@ -166,6 +177,7 @@ func Run(c *Config) (*Report, error) {
 			if err := mgr.Deploy(ps); err != nil {
 				return nil, err
 			}
+			ps.Instrument(reg, ac.Switch)
 			taps[ac.Switch] = append(taps[ac.Switch], ps.Tap)
 			apps = append(apps, deployed{ac, ps})
 		case "queuemon":
@@ -176,6 +188,7 @@ func Run(c *Config) (*Report, error) {
 			if err := mgr.Deploy(qm); err != nil {
 				return nil, err
 			}
+			qm.Instrument(reg, ac.Switch)
 			qm.StartSwitchSide(sim, 0.05)
 			apps = append(apps, deployed{ac, qm})
 		case "ddos", "superspreader":
@@ -195,6 +208,7 @@ func Run(c *Config) (*Report, error) {
 			if err := mgr.Deploy(sd); err != nil {
 				return nil, err
 			}
+			sd.Instrument(reg, ac.Switch)
 			taps[ac.Switch] = append(taps[ac.Switch], sd.Tap)
 			apps = append(apps, deployed{ac, sd})
 		case "heartbeat":
@@ -215,6 +229,7 @@ func Run(c *Config) (*Report, error) {
 		if err := mgr.Deploy(hb); err != nil {
 			return nil, err
 		}
+		hb.Instrument(reg, "controller")
 		apps = append(apps, deployed{AppConfig{Type: "heartbeat", Switch: "*"}, hb})
 	}
 	for name, fns := range taps {
@@ -332,5 +347,7 @@ func Run(c *Config) (*Report, error) {
 	}
 	health := mgr.Health()
 	rep.Health = &health
+	snap := reg.Snapshot()
+	rep.Metrics = &snap
 	return rep, nil
 }

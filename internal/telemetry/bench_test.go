@@ -1,0 +1,48 @@
+package telemetry
+
+import "testing"
+
+// The acceptance bar for the hot path: counter, gauge, histogram and
+// span updates must run with 0 allocs/op — they sit inside the
+// controller's per-window loop.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := New().Counter("mdn_bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := New().Gauge("mdn_bench_gauge")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("mdn_bench_seconds", DefaultLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0003)
+	}
+}
+
+func BenchmarkSpanWall(b *testing.B) {
+	h := New().Histogram("mdn_bench_span_seconds", DefaultLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		StartSpan(h, nil).End()
+	}
+}
+
+func BenchmarkSpanVirtual(b *testing.B) {
+	h := New().Histogram("mdn_bench_vspan_seconds", DefaultLatencyBuckets)
+	clock := &StepClock{Step: 0.001}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		StartSpan(h, clock).End()
+	}
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry holds named metrics. Registration is get-or-create: asking
+// for an existing name of the same kind returns the existing metric,
+// so components set up in a loop (the chaos sweep builds a fresh
+// controller per point) naturally share and accumulate into one set
+// of series. Asking for an existing name as a different kind panics —
+// that is a wiring bug, not a runtime condition.
+//
+// Names may carry a Prometheus-style label suffix built with Label.
+// A nil *Registry is valid and hands out nil metrics, so a component
+// instrumented with a nil registry runs unmetered with no further
+// checks.
+//
+// Registration takes a lock; metric updates never do.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	order   []*entry
+}
+
+type entry struct {
+	name    string
+	kind    string // "counter", "gauge", "func", "histogram"
+	counter *Counter
+	gauge   *Gauge
+	fns     []func() float64
+	hist    *Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+func (r *Registry) lookup(name, kind string) *entry {
+	e, ok := r.entries[name]
+	if !ok {
+		e = &entry{name: name, kind: kind}
+		r.entries[name] = e
+		r.order = append(r.order, e)
+		return e
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, e.kind, kind))
+	}
+	return e
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.lookup(name, "counter")
+	if e.counter == nil {
+		e.counter = &Counter{}
+	}
+	return e.counter
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.lookup(name, "gauge")
+	if e.gauge == nil {
+		e.gauge = &Gauge{}
+	}
+	return e.gauge
+}
+
+// Func registers a read-on-demand gauge backed by fn — the zero-cost
+// way to expose counters a component already maintains. Registering
+// the same name again adds another source; the reported value is the
+// sum, so per-run re-registrations (chaos points) aggregate instead
+// of shadowing each other.
+func (r *Registry) Func(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.lookup(name, "func")
+	e.fns = append(e.fns, fn)
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it on
+// first use with the given inclusive upper bounds (a +Inf bucket is
+// implicit). Later calls ignore bounds and return the existing
+// histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.lookup(name, "histogram")
+	if e.hist == nil {
+		e.hist = newHistogram(bounds)
+	}
+	return e.hist
+}
+
+// Snapshot captures every metric's current value in registration
+// order. Func gauges are evaluated during the call, so take snapshots
+// when the producing simulation is idle.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{Metrics: make([]MetricSnapshot, 0, len(r.order))}
+	for _, e := range r.order {
+		m := MetricSnapshot{Name: e.name, Kind: e.kind}
+		switch e.kind {
+		case "counter":
+			m.Value = float64(e.counter.Value())
+		case "gauge":
+			m.Value = e.gauge.Value()
+		case "func":
+			m.Kind = "gauge"
+			for _, fn := range e.fns {
+				m.Value += fn()
+			}
+		case "histogram":
+			m.Count = e.hist.Count()
+			m.Sum = e.hist.Sum()
+			var cum uint64
+			m.Buckets = make([]BucketCount, len(e.hist.bounds))
+			for i, b := range e.hist.bounds {
+				cum += e.hist.counts[i].Load()
+				m.Buckets[i] = BucketCount{LE: b, Count: cum}
+			}
+		}
+		snap.Metrics = append(snap.Metrics, m)
+	}
+	return snap
+}

@@ -8,6 +8,7 @@ import (
 	"mdn/internal/mp"
 	"mdn/internal/netsim"
 	"mdn/internal/openflow"
+	"mdn/internal/telemetry"
 )
 
 // Re-exported core types: the public API of the library.
@@ -84,6 +85,11 @@ type (
 	WireCounters = core.WireCounters
 	// Programmer installs flow rules with retry and idempotency.
 	Programmer = openflow.Programmer
+	// MetricsRegistry names and aggregates pipeline metrics.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry, with
+	// Prometheus-text rendering.
+	MetricsSnapshot = telemetry.Snapshot
 )
 
 // Controller health states, in degradation order.
@@ -237,6 +243,11 @@ func NewKnockGenerator(secret []byte) *KnockGenerator {
 func NewProgrammer(ch *openflow.Channel, seed int64) *Programmer {
 	return openflow.NewProgrammer(ch, seed)
 }
+
+// NewMetricsRegistry creates an empty metrics registry. Pass it to
+// Controller.Instrument and the applications' Instrument methods,
+// then read Snapshot() for a Prometheus-text view of the pipeline.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.New() }
 
 // Testbed assembles the full simulated MDN deployment: a
 // discrete-event network, an acoustic room, a frequency plan, and one
