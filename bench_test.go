@@ -8,9 +8,11 @@ package mdn
 import (
 	"math"
 	"math/bits"
+	"runtime"
 	"strconv"
 	"testing"
 
+	"mdn/internal/acoustic"
 	"mdn/internal/audio"
 	"mdn/internal/core"
 	"mdn/internal/dsp"
@@ -138,6 +140,80 @@ func BenchmarkAcousticCapture(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tb.Mic.Capture(0.1, 0.15)
+	}
+}
+
+// BenchmarkCaptureInto is BenchmarkAcousticCapture on the reused-
+// buffer path: the same busy room rendered with Microphone.CaptureInto
+// feeding each call's return value into the next. The steady state
+// must report 0 allocs/op.
+func BenchmarkCaptureInto(b *testing.B) {
+	tb := NewTestbed(99)
+	for i := 0; i < 10; i++ {
+		_, v := tb.AddVoicedSwitch("s"+strconv.Itoa(i), 1+float64(i)*0.3, 0)
+		f := 400 + float64(i)*80
+		tb.Sim.Schedule(0.1, func() { v.Play(f) })
+	}
+	tb.Room.AddNoise(core.PopSongNoise(44100, 2, 0.02, 5))
+	tb.Sim.RunUntil(0.5)
+	buf := tb.Mic.CaptureInto(nil, 0.1, 0.15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tb.Mic.CaptureInto(buf, 0.1, 0.15)
+	}
+}
+
+// fleetRoom builds the N-voice fleet world: one speaker per switch
+// holding a sustained tone, one microphone per switch, and an FFT
+// detector watching all N frequencies.
+func fleetRoom(n int) ([]*acoustic.Microphone, *Detector) {
+	room := acoustic.NewRoom(44100, 7)
+	mics := make([]*acoustic.Microphone, n)
+	freqs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		name := "s" + strconv.Itoa(i)
+		sp := room.AddSpeaker(name, acoustic.Position{X: 1 + 0.01*float64(i)})
+		mics[i] = room.AddMicrophone("mic-"+name,
+			acoustic.Position{Y: 0.1 * float64(i)}, 0.0005)
+		freqs[i] = 400 + 20*float64(i)
+		sp.Play(0, audio.Tone{Frequency: freqs[i], Duration: 3600,
+			Amplitude: acoustic.SPLToAmplitude(60)})
+	}
+	return mics, NewDetector(MethodFFT, freqs)
+}
+
+// BenchmarkFleet drives the fleet engine through the facade: one
+// 50 ms controller window fanned over N microphones by per-worker
+// detector clones, serial versus a GOMAXPROCS pool, with detections
+// merged deterministically. Every row must hold 0 allocs/op at
+// steady state. The full 1–256-voice scale suite and the worker
+// sweep live in internal/core (numbers in BENCH_PR5.json).
+func BenchmarkFleet(b *testing.B) {
+	for _, n := range []int{1, 8, 64} {
+		mics, det := fleetRoom(n)
+		for _, w := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", runtime.GOMAXPROCS(0)}} {
+			b.Run("voices="+strconv.Itoa(n)+"/"+w.name, func(b *testing.B) {
+				f := NewFleet(det, w.workers)
+				defer f.Close()
+				for _, m := range mics {
+					f.AddMicrophone(m)
+				}
+				// Warm up clones, capture buffers and result slots so
+				// the timed region measures the steady state.
+				f.Analyse(0, 0.050)
+				f.Analyse(0.050, 0.100)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					from := float64(2+i%1000) * 0.050
+					f.Analyse(from, from+0.050)
+				}
+			})
+		}
 	}
 }
 

@@ -13,6 +13,7 @@
 //	cat scenario.json | mdnsim
 //	mdnsim -chaos -seed 7
 //	mdnsim -chaos -chaos-drops 0,0.3 -chaos-duration 10 -json
+//	mdnsim -chaos -workers 4
 //	mdnsim -chaos -metrics
 package main
 
@@ -37,12 +38,13 @@ func main() {
 		drops    = flag.String("chaos-drops", "", "comma-separated drop probabilities to sweep (default 0,0.1,0.3,0.5)")
 		duration = flag.Float64("chaos-duration", 0, "simulated seconds per chaos point (default 30)")
 		seed     = flag.Int64("seed", 1, "chaos sweep seed")
+		workers  = flag.Int("workers", 0, "chaos sweep worker pool size (0 = GOMAXPROCS, 1 = serial); the report is identical at any setting")
 		metrics  = flag.Bool("metrics", false, "dump the run's telemetry in Prometheus text format after the report")
 	)
 	flag.Parse()
 
 	if *chaos {
-		runChaos(*seed, *drops, *duration, *jsonOut, *metrics)
+		runChaos(*seed, *drops, *duration, *workers, *jsonOut, *metrics)
 		return
 	}
 
@@ -76,8 +78,8 @@ func main() {
 	printMetrics(rep.Metrics, *metrics)
 }
 
-func runChaos(seed int64, drops string, duration float64, jsonOut, metrics bool) {
-	cfg := scenario.ChaosConfig{Seed: seed, DurationS: duration}
+func runChaos(seed int64, drops string, duration float64, workers int, jsonOut, metrics bool) {
+	cfg := scenario.ChaosConfig{Seed: seed, DurationS: duration, Workers: workers}
 	if drops != "" {
 		for _, s := range strings.Split(drops, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)

@@ -3,6 +3,7 @@ package acoustic
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
 
@@ -34,14 +35,55 @@ type Speaker struct {
 	room *Room
 }
 
-// Play schedules a tone to start at time at (seconds).
+// Play schedules a tone to start at time at (seconds). The room keeps
+// its emission list sorted by start time as tones are scheduled —
+// usually a cheap append, since simulations schedule forward in time —
+// so neither Capture nor Emissions ever re-sorts.
 func (s *Speaker) Play(at float64, tone audio.Tone) {
 	if s.MaxAmplitude > 0 && tone.Amplitude > s.MaxAmplitude {
 		tone.Amplitude = s.MaxAmplitude
 	}
-	s.room.mu.Lock()
-	defer s.room.mu.Unlock()
-	s.room.emissions = append(s.room.emissions, Emission{At: at, Tone: tone, Speaker: s.Name})
+	r := s.room
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := emission{Emission: Emission{At: at, Tone: tone, Speaker: s.Name}, sp: s}
+	n := len(r.emissions)
+	if n == 0 || !emissionLess(&e, &r.emissions[n-1]) {
+		r.emissions = append(r.emissions, e)
+		return
+	}
+	// Out-of-order schedule: insert at the total-order position.
+	i := sort.Search(n, func(k int) bool { return emissionLess(&e, &r.emissions[k]) })
+	r.emissions = append(r.emissions, emission{})
+	copy(r.emissions[i+1:], r.emissions[i:])
+	r.emissions[i] = e
+}
+
+// emissionLess is a total order on emissions: start time first, then
+// speaker and tone fields as tie-breaks. Keeping the list in a total
+// order (rather than "sorted by At, ties in arrival order") makes the
+// capture mix a pure function of the schedule — floating-point
+// accumulation is order-sensitive at the last ulp, so two emissions
+// starting at the same instant must still mix in a reproducible order
+// no matter which Play call landed first. That is what lets the
+// parallel sweep and fleet paths promise byte-identical output.
+func emissionLess(a, b *emission) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Speaker != b.Speaker {
+		return a.Speaker < b.Speaker
+	}
+	if a.Tone.Frequency != b.Tone.Frequency {
+		return a.Tone.Frequency < b.Tone.Frequency
+	}
+	if a.Tone.Duration != b.Tone.Duration {
+		return a.Tone.Duration < b.Tone.Duration
+	}
+	if a.Tone.Amplitude != b.Tone.Amplitude {
+		return a.Tone.Amplitude < b.Tone.Amplitude
+	}
+	return a.Tone.Phase < b.Tone.Phase
 }
 
 // Microphone is a capture point in the room. Microphones are created
@@ -56,6 +98,13 @@ type Microphone struct {
 	SelfNoiseRMS float64
 
 	room *Room
+
+	// Capture scratch, reused across windows so steady-state capture
+	// allocates nothing. It makes a Microphone single-capturer: at most
+	// one goroutine may run Capture/CaptureInto on a given microphone
+	// at a time. Different microphones of the same room may capture
+	// concurrently — that is the fleet fan-out path.
+	noiseRng *rand.Rand
 }
 
 // NoiseSource is a continuous background sound (ambience, a pop song,
@@ -92,11 +141,22 @@ type Room struct {
 	// negligible at room scales).
 	AirAbsorption bool
 
-	mu        sync.Mutex
+	// mu is a read-write lock: Play and the Add* registrations take
+	// the write side; Capture holds the read side for the whole mix,
+	// so any number of microphones can render the same window
+	// concurrently without copying the emission list.
+	mu        sync.RWMutex
 	speakers  map[string]*Speaker
 	mics      map[string]*Microphone
 	noise     []*NoiseSource
-	emissions []Emission
+	emissions []emission // kept in emissionLess total order
+}
+
+// emission is the internal schedule record: the public Emission plus
+// the resolved speaker, so Capture never does a map lookup per tone.
+type emission struct {
+	Emission
+	sp *Speaker
 }
 
 // NewRoom creates an empty room rendering at the given sample rate.
@@ -154,50 +214,77 @@ func (r *Room) AddNoise(src *NoiseSource) *NoiseSource {
 
 // Speaker returns the named speaker or nil.
 func (r *Room) Speaker(name string) *Speaker {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.speakers[name]
 }
 
 // Emissions returns a copy of all scheduled emissions, ordered by
-// start time.
+// start time (ties in a fixed total order over speaker and tone). The
+// list is maintained in that order by Play, so this is a straight
+// copy — no sort.
 func (r *Room) Emissions() []Emission {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]Emission, len(r.emissions))
-	copy(out, r.emissions)
-	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	for i := range r.emissions {
+		out[i] = r.emissions[i].Emission
+	}
 	return out
 }
 
 // Capture renders what the microphone hears over [from, to) seconds:
 // every emission (attenuated by distance, delayed by propagation),
-// every noise source, and the microphone's own noise floor.
+// every noise source, and the microphone's own noise floor. It
+// allocates a fresh buffer per call; the polling hot path should use
+// CaptureInto with a reused buffer instead.
 func (m *Microphone) Capture(from, to float64) *audio.Buffer {
+	return m.CaptureInto(nil, from, to)
+}
+
+// CaptureInto is Capture writing into out, which is grown as needed
+// and returned (a nil out allocates one). Feeding each call's return
+// value into the next reaches a steady state where capture allocates
+// nothing: tones and self-noise are synthesized directly into the
+// buffer, the emission list is walked in place under the room's read
+// lock, and the list is start-time sorted so only the prefix that can
+// be audible before to is visited at all.
+//
+// A microphone may be captured by at most one goroutine at a time (it
+// reuses per-microphone scratch); captures of different microphones
+// may run concurrently.
+func (m *Microphone) CaptureInto(out *audio.Buffer, from, to float64) *audio.Buffer {
 	r := m.room
-	out := audio.NewBuffer(r.SampleRate, to-from)
-	if out.Len() == 0 {
+	n := int(math.Round((to - from) * r.SampleRate))
+	if n < 0 {
+		n = 0
+	}
+	if out == nil {
+		out = &audio.Buffer{}
+	}
+	out.SampleRate = r.SampleRate
+	if cap(out.Samples) >= n {
+		out.Samples = out.Samples[:n]
+	} else {
+		out.Samples = make([]float64, n)
+	}
+	for i := range out.Samples {
+		out.Samples[i] = 0
+	}
+	if n == 0 {
 		return out
 	}
-	r.mu.Lock()
-	emissions := make([]Emission, len(r.emissions))
-	copy(emissions, r.emissions)
-	noise := make([]*NoiseSource, len(r.noise))
-	copy(noise, r.noise)
-	// Snapshot the speaker map too: resolving each emission through
-	// r.Speaker would re-acquire the room mutex once per emission.
-	speakers := make(map[string]*Speaker, len(r.speakers))
-	for name, sp := range r.speakers {
-		speakers[name] = sp
-	}
-	r.mu.Unlock()
 
-	for _, e := range emissions {
-		sp := speakers[e.Speaker]
-		if sp == nil {
-			continue
-		}
-		dist := sp.Pos.Distance(m.Pos)
+	r.mu.RLock()
+	// Emissions are sorted by At and arrive no earlier than they
+	// start, so everything from the first At >= to onward is
+	// inaudible in this window — binary-search the boundary and walk
+	// only the audible prefix.
+	ems := r.emissions
+	cut := sort.Search(len(ems), func(i int) bool { return ems[i].At >= to })
+	for i := 0; i < cut; i++ {
+		e := &ems[i]
+		dist := e.sp.Pos.Distance(m.Pos)
 		arrive := e.At + delay(dist)
 		if arrive >= to || arrive+e.Tone.Duration <= from {
 			continue
@@ -207,18 +294,26 @@ func (m *Microphone) Capture(from, to float64) *audio.Buffer {
 		if r.AirAbsorption {
 			tone.Amplitude *= airAbsorption(tone.Frequency, dist)
 		}
-		out.MixAt(tone.Render(r.SampleRate), arrive-from, 1)
+		tone.MixEnvelopeAt(out, arrive-from, audio.DefaultEnvelope)
 	}
 
-	for _, src := range noise {
+	for _, src := range r.noise {
 		m.mixNoise(out, src, from, to)
 	}
+	r.mu.RUnlock()
 
 	if m.SelfNoiseRMS > 0 {
 		// Seed per (mic, window) so repeated captures of the same
-		// window return identical waveforms.
+		// window return identical waveforms. The generator is reused
+		// and reseeded, which reproduces the fresh-generator stream
+		// without allocating.
 		seed := r.Seed ^ int64(math.Float64bits(from)) ^ int64(len(m.Name))
-		out.MixAt(audio.WhiteNoise(r.SampleRate, to-from, m.SelfNoiseRMS, seed), 0, 1)
+		if m.noiseRng == nil {
+			m.noiseRng = rand.New(rand.NewSource(seed))
+		} else {
+			m.noiseRng.Seed(seed)
+		}
+		audio.MixWhiteNoise(out, m.SelfNoiseRMS, m.noiseRng)
 	}
 	return out
 }

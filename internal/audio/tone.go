@@ -58,6 +58,47 @@ func (t Tone) RenderEnvelope(sampleRate, envelope float64) *Buffer {
 	return b
 }
 
+// MixEnvelopeAt synthesizes the tone directly into b starting at the
+// given offset in seconds, with the same attack/release envelope as
+// RenderEnvelope, and returns b. The samples added are bit-identical
+// to b.MixAt(t.RenderEnvelope(b.SampleRate, envelope), offset, 1) —
+// same synthesis arithmetic, same rounding — but nothing is allocated,
+// which is what the acoustic capture hot path needs to reach zero
+// steady-state allocations.
+func (t Tone) MixEnvelopeAt(b *Buffer, offset, envelope float64) *Buffer {
+	sr := b.SampleRate
+	n := int(math.Round(t.Duration * sr))
+	if n <= 0 {
+		return b
+	}
+	edge := int(envelope * sr)
+	if edge > n/2 {
+		edge = n / 2
+	}
+	w := 2 * math.Pi * t.Frequency / sr
+	start := int(math.Round(offset * sr))
+	// Clamp the tone-sample range to the part that lands inside b, so
+	// the loop carries no per-sample bounds test.
+	lo, hi := 0, n
+	if start < 0 {
+		lo = -start
+	}
+	if start+hi > len(b.Samples) {
+		hi = len(b.Samples) - start
+	}
+	for i := lo; i < hi; i++ {
+		v := t.Amplitude * math.Sin(w*float64(i)+t.Phase)
+		switch {
+		case edge > 0 && i < edge:
+			v *= float64(i) / float64(edge)
+		case edge > 0 && i >= n-edge:
+			v *= float64(n-1-i) / float64(edge)
+		}
+		b.Samples[start+i] += v
+	}
+	return b
+}
+
 // Chord renders several simultaneous tones of equal duration into one
 // buffer. Tones shorter than the longest are padded with silence.
 func Chord(sampleRate float64, tones ...Tone) *Buffer {

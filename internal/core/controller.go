@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"mdn/internal/acoustic"
+	"mdn/internal/audio"
 	"mdn/internal/netsim"
 	"mdn/internal/telemetry"
 )
@@ -41,6 +42,8 @@ type Controller struct {
 	sim    *netsim.Sim
 	mic    *acoustic.Microphone
 	ticker *netsim.Ticker
+	fleet  *Fleet
+	buf    *audio.Buffer // reused capture scratch for the single-mic path
 
 	// mu guards the subscriber list so registration is safe from any
 	// goroutine, at any time — including while the poll loop runs.
@@ -138,8 +141,13 @@ func (c *Controller) analyse(from, to float64) {
 	// Decode span: the wall-clock cost of capture + detection, the
 	// quantity Figure 2b bounds against the 50 ms window budget.
 	sp := telemetry.StartSpan(c.tm.decode, c.tm.wall)
-	buf := c.mic.Capture(from, to)
-	dets := c.Detector.Detect(buf, from)
+	var dets []Detection
+	if c.fleet != nil {
+		dets = c.fleet.Analyse(from, to)
+	} else {
+		c.buf = c.mic.CaptureInto(c.buf, from, to)
+		dets = c.Detector.Detect(c.buf, from)
+	}
 	sp.End()
 	c.Windows++
 	c.Detections += uint64(len(dets))
@@ -171,6 +179,24 @@ func (c *Controller) AnalyseOnce(from, to float64) []Detection {
 	buf := c.mic.Capture(from, to)
 	return c.Detector.Detect(buf, from)
 }
+
+// EnableFleet switches the controller's window analysis to a
+// worker-pool fleet engine cloned from its detector, seeded with the
+// controller's own microphone, and returns the fleet so further
+// listening points can be added with AddMicrophone. workers <= 0
+// means GOMAXPROCS. Detections from all microphones are merged by
+// (time, frequency) before dispatch, so subscriber semantics are
+// unchanged — handlers still see one ordered batch per window.
+func (c *Controller) EnableFleet(workers int) *Fleet {
+	f := NewFleet(c.Detector, workers)
+	f.AddMicrophone(c.mic)
+	c.fleet = f
+	return f
+}
+
+// Fleet returns the controller's fleet engine, or nil when the
+// controller is on the single-microphone path.
+func (c *Controller) Fleet() *Fleet { return c.fleet }
 
 // Mic returns the controller's microphone.
 func (c *Controller) Mic() *acoustic.Microphone { return c.mic }

@@ -65,6 +65,9 @@ type Detector struct {
 	RelativeFloor float64
 
 	watch []float64
+	// watchRev counts watch-list edits; Fleet compares it against its
+	// clones' revisions to know when they are stale.
+	watchRev uint64
 
 	// Reused scratch: the controller calls Detect once per 50 ms
 	// window forever, so steady-state detection must not allocate.
@@ -75,6 +78,12 @@ type Detector struct {
 	amps  []float64
 	mags  []float64
 	out   []Detection
+	// fftScr is detector-owned FFT workspace. The plan's default
+	// pooled scratch lives in a sync.Pool the GC may clear between
+	// 50 ms windows, which would make "steady state" re-allocate
+	// ~100 KB under heap pressure; owning the scratch pins the
+	// zero-alloc guarantee.
+	fftScr dsp.FFTScratch
 }
 
 // DefaultMinAmplitude corresponds to a 30 dB SPL tone — the paper's
@@ -105,6 +114,26 @@ func (d *Detector) Watch() []float64 {
 func (d *Detector) AddWatch(freqs ...float64) {
 	d.watch = append(d.watch, freqs...)
 	d.gplan = nil // coefficients are stale
+	d.watchRev++
+}
+
+// Clone returns an independent detector with the same configuration
+// and watch list. Detection scratch is not shared: a Detector is not
+// safe for concurrent use, so concurrent analysis (the fleet path)
+// gives each worker its own clone. The DSP plans the clones build
+// underneath come from the process-wide plan cache, which is
+// concurrency-safe — plans are shared, scratch is not.
+func (d *Detector) Clone() *Detector {
+	w := make([]float64, len(d.watch))
+	copy(w, d.watch)
+	return &Detector{
+		Method:        d.Method,
+		MinAmplitude:  d.MinAmplitude,
+		ToleranceHz:   d.ToleranceHz,
+		RelativeFloor: d.RelativeFloor,
+		watch:         w,
+		watchRev:      d.watchRev,
+	}
 }
 
 // Detect analyses one capture window and returns the watched tones
@@ -169,7 +198,7 @@ func (d *Detector) detectFFT(buf *audio.Buffer, windowStart float64) []Detection
 	n := buf.Len()
 	fftSize := dsp.NextPowerOfTwo(n)
 	plan := dsp.PlanFFT(fftSize)
-	d.mags = plan.WindowedSpectrumInto(d.mags, buf.Samples, dsp.Hann)
+	d.mags = plan.WindowedSpectrumScratch(d.mags, buf.Samples, dsp.Hann, &d.fftScr)
 	mags := d.mags
 	gain := dsp.Hann.Gain(n)
 	d.amps = growFloats(d.amps, len(d.watch))

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"sync"
+
+	"mdn/internal/acoustic"
+	"mdn/internal/audio"
+	"mdn/internal/parallel"
+	"mdn/internal/telemetry"
+)
+
+// Fleet is the controller's many-switch listening engine: one
+// analysis window fanned out over N microphones on a fixed pool of
+// workers, each worker running its own Detector clone. The paper's
+// deployments are fleets — many switches emitting tones toward one
+// listening controller — and a single Detector cannot serve them
+// concurrently because its per-window scratch is reused (the DSP
+// plans underneath are shared and concurrency-safe; the scratch is
+// not). Cloning the detector per worker shares the plans and
+// duplicates only the scratch.
+//
+// Determinism contract: Analyse returns the same detection slice for
+// the same room state regardless of worker count or scheduling order.
+// Workers write into per-microphone result slots, and the merge step
+// runs after the barrier, ordering detections by (time, frequency)
+// with microphone registration order breaking exact ties — so
+// subscriber semantics are identical to a serial multi-microphone
+// loop.
+//
+// A Fleet is driven from one goroutine (the simulation loop):
+// AddMicrophone and Analyse must not race each other. The concurrency
+// is inside Analyse, between its workers.
+type Fleet struct {
+	template *Detector
+	workers  int
+
+	mics    []*acoustic.Microphone
+	dets    []*Detector     // one clone per worker
+	bufs    []*audio.Buffer // one capture buffer per worker
+	out     [][]Detection   // per-microphone results, reused
+	merged  []Detection
+	sortTmp []Detection // merge-sort scratch, reserved with merged
+
+	// Window bounds for the in-flight fan-out; written before tasks
+	// are sent, read by workers after receiving one (the channel send
+	// is the happens-before edge).
+	from, to float64
+
+	tasks   chan int
+	wg      sync.WaitGroup
+	started bool
+	closed  bool
+
+	busy   *telemetry.Gauge
+	window *telemetry.Histogram
+	wall   telemetry.TimeSource
+}
+
+// NewFleet builds a fleet cloning template for each of workers pool
+// slots (workers <= 0 means GOMAXPROCS). The template stays live:
+// watch-list additions and threshold changes made to it (for example
+// through Controller.Detector) are picked up at the next Analyse.
+func NewFleet(template *Detector, workers int) *Fleet {
+	if template == nil {
+		panic("core: NewFleet requires a detector template")
+	}
+	return &Fleet{template: template, workers: parallel.Workers(workers)}
+}
+
+// Workers returns the pool size.
+func (f *Fleet) Workers() int { return f.workers }
+
+// AddMicrophone registers one listening point. Call from the driving
+// goroutine only, not concurrently with Analyse.
+func (f *Fleet) AddMicrophone(m *acoustic.Microphone) {
+	if m == nil {
+		panic("core: Fleet.AddMicrophone requires a microphone")
+	}
+	f.mics = append(f.mics, m)
+	f.out = append(f.out, nil)
+}
+
+// Microphones returns the number of registered listening points.
+func (f *Fleet) Microphones() int { return len(f.mics) }
+
+// Instrument registers the fleet's telemetry: a gauge of workers
+// currently busy and a histogram of per-window fan-out wall time
+// (capture + detect across all microphones, barrier included).
+func (f *Fleet) Instrument(reg *telemetry.Registry) {
+	f.busy = reg.Gauge(metricFleetBusy)
+	f.window = reg.Histogram(metricFleetWindow, telemetry.DefaultLatencyBuckets)
+	f.wall = telemetry.Wall()
+}
+
+// Analyse captures and analyses [from, to) on every microphone,
+// fanning the work across the pool, and returns the merged detections
+// ordered by (time, frequency). The returned slice is scratch owned
+// by the fleet, valid until the next Analyse call — the same contract
+// as Detector.Detect. Steady-state calls allocate nothing.
+func (f *Fleet) Analyse(from, to float64) []Detection {
+	if len(f.mics) == 0 {
+		return nil
+	}
+	sp := telemetry.StartSpan(f.window, f.wall)
+	f.syncClones()
+	f.reserve()
+	f.from, f.to = from, to
+	if f.workers == 1 || len(f.mics) == 1 {
+		// Serial reference path: same per-microphone work, same merge.
+		for i := range f.mics {
+			f.analyseMic(0, i)
+		}
+	} else {
+		f.start()
+		f.wg.Add(len(f.mics))
+		for i := range f.mics {
+			f.tasks <- i
+		}
+		f.wg.Wait()
+	}
+	f.merged = f.merged[:0]
+	for i := range f.out {
+		f.merged = append(f.merged, f.out[i]...)
+	}
+	sortDetections(f.merged, f.sortTmp)
+	sp.End()
+	if len(f.merged) == 0 {
+		return nil
+	}
+	return f.merged
+}
+
+// Close stops the worker goroutines. The fleet stays usable on the
+// serial path after Close; call it when tearing a fleet down so pools
+// built per benchmark iteration or per test do not leak goroutines.
+func (f *Fleet) Close() {
+	if f.started && !f.closed {
+		close(f.tasks)
+		f.closed = true
+		f.started = false
+	}
+}
+
+// syncClones brings the per-worker detectors in line with the live
+// template: scalar thresholds are copied every window (they are four
+// assignments), the watch list only when its revision moved.
+func (f *Fleet) syncClones() {
+	stale := len(f.dets) != f.workers ||
+		f.dets[0].watchRev != f.template.watchRev
+	if stale {
+		f.dets = f.dets[:0]
+		for w := 0; w < f.workers; w++ {
+			f.dets = append(f.dets, f.template.Clone())
+		}
+		for len(f.bufs) < f.workers {
+			f.bufs = append(f.bufs, nil)
+		}
+	}
+	for _, d := range f.dets {
+		d.Method = f.template.Method
+		d.MinAmplitude = f.template.MinAmplitude
+		d.ToleranceHz = f.template.ToleranceHz
+		d.RelativeFloor = f.template.RelativeFloor
+	}
+}
+
+// reserve grows the merge-path slices to their hard bound: a detector
+// yields at most one detection per watched frequency, so one window
+// produces at most mics × watch detections. Reserving that up front
+// (re-checked per window, so watch-list growth is covered) means
+// per-window detection-count wobble — self-noise flips borderline
+// amplitudes across the threshold — never triggers a mid-flight
+// growslice, keeping the steady state allocation-free.
+func (f *Fleet) reserve() {
+	per := len(f.template.watch)
+	bound := per * len(f.mics)
+	if cap(f.merged) < bound {
+		f.merged = make([]Detection, 0, bound)
+	}
+	if cap(f.sortTmp) < bound {
+		f.sortTmp = make([]Detection, bound)
+	}
+	for i := range f.out {
+		if cap(f.out[i]) < per {
+			f.out[i] = make([]Detection, 0, per)
+		}
+	}
+}
+
+// start launches the worker pool on first parallel use.
+func (f *Fleet) start() {
+	if f.started {
+		return
+	}
+	if f.closed {
+		panic("core: Analyse on a closed Fleet with multiple workers")
+	}
+	f.tasks = make(chan int)
+	for w := 0; w < f.workers; w++ {
+		go f.worker(w)
+	}
+	f.started = true
+}
+
+// worker processes microphone indices until the task channel closes.
+// Worker w owns dets[w] and bufs[w]; distinct tasks write distinct
+// out[i] slots, so the only synchronisation needed is the WaitGroup.
+func (f *Fleet) worker(w int) {
+	for i := range f.tasks {
+		f.busy.Add(1)
+		f.analyseMic(w, i)
+		f.busy.Add(-1)
+		f.wg.Done()
+	}
+}
+
+// analyseMic captures one microphone's window with worker w's scratch
+// and stores the detections in the microphone's result slot.
+func (f *Fleet) analyseMic(w, i int) {
+	f.bufs[w] = f.mics[i].CaptureInto(f.bufs[w], f.from, f.to)
+	dets := f.dets[w].Detect(f.bufs[w], f.from)
+	f.out[i] = append(f.out[i][:0], dets...)
+}
+
+// sortDetections orders detections by (Time, Frequency), stable: exact
+// ties keep their arrival order, which Analyse arranges to be
+// microphone registration order. It is a bottom-up merge sort over
+// caller-provided scratch (len(tmp) >= len(s)) — allocation-free, and
+// O(n log n) where the previous insertion sort went quadratic once
+// every microphone heard every voice (a 256-voice fleet merges ~65k
+// detections per window).
+func sortDetections(s, tmp []Detection) {
+	n := len(s)
+	const run = 32
+	for lo := 0; lo < n; lo += run {
+		hi := lo + run
+		if hi > n {
+			hi = n
+		}
+		insertionSortDetections(s[lo:hi])
+	}
+	tmp = tmp[:len(s)]
+	for width := run; width < n; width *= 2 {
+		for lo := 0; lo < n-width; lo += 2 * width {
+			mid := lo + width
+			hi := mid + width
+			if hi > n {
+				hi = n
+			}
+			mergeDetections(tmp[lo:hi], s[lo:mid], s[mid:hi])
+			copy(s[lo:hi], tmp[lo:hi])
+		}
+	}
+}
+
+func insertionSortDetections(s []Detection) {
+	for i := 1; i < len(s); i++ {
+		d := s[i]
+		j := i - 1
+		for j >= 0 && detLess(d, s[j]) {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = d
+	}
+}
+
+// mergeDetections merges two sorted runs into dst, taking from a on
+// ties — the stability guarantee.
+func mergeDetections(dst, a, b []Detection) {
+	i, j := 0, 0
+	for k := range dst {
+		if i < len(a) && (j >= len(b) || !detLess(b[j], a[i])) {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+	}
+}
+
+func detLess(a, b Detection) bool {
+	return a.Time < b.Time || (a.Time == b.Time && a.Frequency < b.Frequency)
+}

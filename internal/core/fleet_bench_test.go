@@ -1,0 +1,80 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"mdn/internal/acoustic"
+	"mdn/internal/audio"
+)
+
+// BenchmarkFleet is the PR5 scale suite: one controller window over
+// N voices (N switches, each with its own speaker, microphone and
+// frequency), serial versus worker-pool fan-out. The detector uses
+// the FFT method — at fleet watch-list sizes that is the paper's own
+// choice (Figure 2 uses the FFT) and the realistic configuration.
+//
+// On a multi-core host the parallel rows approach
+// serial/GOMAXPROCS; on a single-core host they pin the pool's
+// overhead instead (parallel ≈ serial). Both paths must report
+// 0 allocs/op at steady state — that is the hard acceptance bar.
+
+func benchFleetRoom(n int) ([]*acoustic.Microphone, *Detector) {
+	room := acoustic.NewRoom(44100, 7)
+	mics := make([]*acoustic.Microphone, n)
+	freqs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		name := "s" + itoa(i)
+		sp := room.AddSpeaker(name, acoustic.Position{X: 1 + 0.01*float64(i)})
+		mics[i] = room.AddMicrophone("mic-"+name,
+			acoustic.Position{Y: 0.1 * float64(i)}, 0.0005)
+		// 256 voices at 20 Hz spacing fit inside the paper's plan band.
+		freqs[i] = 400 + 20*float64(i)
+		// One long tone per voice so every benchmark window carries a
+		// full fleet of signal.
+		sp.Play(0, audio.Tone{Frequency: freqs[i], Duration: 3600,
+			Amplitude: acoustic.SPLToAmplitude(60)})
+	}
+	det := NewDetector(MethodFFT, freqs)
+	return mics, det
+}
+
+func benchFleet(b *testing.B, n, workers int) {
+	mics, det := benchFleetRoom(n)
+	f := NewFleet(det, workers)
+	defer f.Close()
+	for _, m := range mics {
+		f.AddMicrophone(m)
+	}
+	// Warm up clones, plans, capture buffers and result slots so the
+	// timed region measures the steady state.
+	f.Analyse(0, 0.050)
+	f.Analyse(0.050, 0.100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := float64(2+i%1000) * 0.050
+		f.Analyse(from, from+0.050)
+	}
+}
+
+func BenchmarkFleet(b *testing.B) {
+	for _, n := range []int{1, 8, 64, 256} {
+		b.Run("voices="+itoa(n)+"/serial", func(b *testing.B) {
+			benchFleet(b, n, 1)
+		})
+		b.Run("voices="+itoa(n)+"/parallel", func(b *testing.B) {
+			benchFleet(b, n, runtime.GOMAXPROCS(0))
+		})
+	}
+}
+
+// BenchmarkFleetWorkerSweep holds the fleet at 64 voices and sweeps
+// the pool size, exposing pool overhead (1 CPU) or scaling (many).
+func BenchmarkFleetWorkerSweep(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run("workers="+itoa(w), func(b *testing.B) {
+			benchFleet(b, 64, w)
+		})
+	}
+}

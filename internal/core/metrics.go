@@ -110,6 +110,16 @@ func (c *Controller) instrumentWire(w wireRef) {
 //	mdn_app_events_total{app,switch}          reports/alerts raised (incl. evicted)
 //	mdn_app_history_dropped_total{app,switch} history entries evicted by the bound
 //	mdn_voice_emitted_total{switch} / mdn_voice_suppressed_total{switch}
+//
+// Fleet metric names:
+//
+//	mdn_fleet_workers_busy    workers currently capturing/analysing
+//	mdn_fleet_window_seconds  per-window fan-out wall time (all mics)
+const (
+	metricFleetBusy   = "mdn_fleet_workers_busy"
+	metricFleetWindow = "mdn_fleet_window_seconds"
+)
+
 const (
 	metricAppOnsets          = "mdn_app_onsets_total"
 	metricAppEvents          = "mdn_app_events_total"

@@ -31,13 +31,22 @@ type FFTPlan struct {
 	// half is the N/2 plan driving RealSpectrumInto. nil when N == 1.
 	half *FFTPlan
 
-	scratch sync.Pool // *fftScratch
+	scratch sync.Pool // *FFTScratch
 }
 
-// fftScratch is the per-call mutable state of a plan: the packed
-// complex input of the real transform, the half spectrum, and a float
-// buffer for spectrum post-processing (STFT frame streaming).
-type fftScratch struct {
+// FFTScratch is the per-call mutable state of a planned transform: the
+// packed complex input of the real transform, the half spectrum, and a
+// float buffer for spectrum post-processing (STFT frame streaming).
+//
+// Plans normally rent one from a per-plan sync.Pool, which is the
+// right trade for bursty callers — but the garbage collector may clear
+// that pool between calls, so a long-lived periodic caller (a
+// controller detector analysing one window every 50 ms forever) sees
+// its scratch evaporate and re-allocate under GC pressure. Such
+// callers hold their own FFTScratch and use the *Scratch entry points
+// instead. The zero value is ready to use and grows to fit any plan;
+// it is not safe for concurrent use.
+type FFTScratch struct {
 	z    []complex128 // len N/2: packed real input
 	spec []complex128 // len N/2+1: half spectrum
 	vals []float64    // len N/2+1: magnitudes or power
@@ -78,13 +87,17 @@ func newFFTPlan(n int) *FFTPlan {
 		p.half = PlanFFT(half)
 	}
 	p.scratch.New = func() interface{} {
-		return &fftScratch{
+		return &FFTScratch{
 			z:    make([]complex128, half),
 			spec: make([]complex128, half+1),
 			vals: make([]float64, half+1),
 		}
 	}
 	return p
+}
+
+func (p *FFTPlan) getScratch() *FFTScratch {
+	return p.scratch.Get().(*FFTScratch)
 }
 
 // Transform computes the in-place forward FFT of x. len(x) must equal
@@ -152,13 +165,18 @@ func (p *FFTPlan) transform(x []complex128, sign float64) {
 // capacity; the grown-or-reused slice is returned, so steady-state
 // calls are allocation-free. len(x) must not exceed p.N.
 func (p *FFTPlan) RealSpectrumInto(dst []complex128, x []float64) []complex128 {
-	return p.realSpectrumWindowed(dst, x, nil)
+	s := p.getScratch()
+	dst = p.realSpectrumWindowed(dst, x, nil, s)
+	p.scratch.Put(s)
+	return dst
 }
 
 // realSpectrumWindowed is RealSpectrumInto with the window fused into
 // the packing pass: sample i is scaled by coef[i]. A nil coef means no
-// window. len(coef) must be >= len(x) when non-nil.
-func (p *FFTPlan) realSpectrumWindowed(dst []complex128, x []float64, coef []float64) []complex128 {
+// window. len(coef) must be >= len(x) when non-nil. s provides the
+// packing buffer (grown to fit the plan if the caller's scratch is
+// smaller).
+func (p *FFTPlan) realSpectrumWindowed(dst []complex128, x []float64, coef []float64, s *FFTScratch) []complex128 {
 	n := p.N
 	if len(x) > n {
 		panic(fmt.Sprintf("dsp: real input length %d exceeds plan length %d", len(x), n))
@@ -176,7 +194,7 @@ func (p *FFTPlan) realSpectrumWindowed(dst []complex128, x []float64, coef []flo
 		dst[0] = complex(v, 0)
 		return dst
 	}
-	s := p.scratch.Get().(*fftScratch)
+	s.z = growComplex(s.z, h)
 	z := s.z
 	m := len(x)
 	full := m / 2 // pairs with both samples in range
@@ -216,7 +234,6 @@ func (p *FFTPlan) realSpectrumWindowed(dst []complex128, x []float64, coef []flo
 		// -i*c = complex(imag(c), -real(c))
 		dst[k] = complex(0.5*(real(a)+imag(c)), 0.5*(imag(a)-real(c)))
 	}
-	p.scratch.Put(s)
 	return dst
 }
 
@@ -225,18 +242,37 @@ func (p *FFTPlan) realSpectrumWindowed(dst []complex128, x []float64, coef []flo
 // dst, reusing its capacity. It is the planned, allocation-free core
 // of WindowedSpectrum.
 func (p *FFTPlan) WindowedSpectrumInto(dst []float64, x []float64, win Window) []float64 {
-	return p.windowedInto(dst, x, win, false)
+	s := p.getScratch()
+	dst = p.windowedInto(dst, x, win, false, s)
+	p.scratch.Put(s)
+	return dst
 }
 
 // WindowedPowerSpectrumInto is WindowedSpectrumInto producing power
 // values (|X[k]|²).
 func (p *FFTPlan) WindowedPowerSpectrumInto(dst []float64, x []float64, win Window) []float64 {
-	return p.windowedInto(dst, x, win, true)
+	s := p.getScratch()
+	dst = p.windowedInto(dst, x, win, true, s)
+	p.scratch.Put(s)
+	return dst
 }
 
-func (p *FFTPlan) windowedInto(dst []float64, x []float64, win Window, power bool) []float64 {
-	s := p.scratch.Get().(*fftScratch)
-	spec := p.realSpectrumWindowed(s.spec[:0], x, win.coefficients(len(x)))
+// WindowedSpectrumScratch is WindowedSpectrumInto using the
+// caller-owned workspace s instead of the plan's pooled scratch, for
+// long-lived periodic callers whose steady state must survive GC
+// clearing the pool (see FFTScratch).
+func (p *FFTPlan) WindowedSpectrumScratch(dst []float64, x []float64, win Window, s *FFTScratch) []float64 {
+	return p.windowedInto(dst, x, win, false, s)
+}
+
+// WindowedPowerSpectrumScratch is WindowedPowerSpectrumInto using the
+// caller-owned workspace s instead of the plan's pooled scratch.
+func (p *FFTPlan) WindowedPowerSpectrumScratch(dst []float64, x []float64, win Window, s *FFTScratch) []float64 {
+	return p.windowedInto(dst, x, win, true, s)
+}
+
+func (p *FFTPlan) windowedInto(dst []float64, x []float64, win Window, power bool, s *FFTScratch) []float64 {
+	spec := p.realSpectrumWindowed(s.spec[:0], x, win.coefficients(len(x)), s)
 	s.spec = spec
 	dst = growFloat(dst, len(spec))
 	if power {
@@ -244,7 +280,6 @@ func (p *FFTPlan) windowedInto(dst []float64, x []float64, win Window, power boo
 	} else {
 		magnitudesInto(dst, spec)
 	}
-	p.scratch.Put(s)
 	return dst
 }
 

@@ -213,3 +213,46 @@ var errMismatch = errorString("concurrent WindowedSpectrumInto diverged from ser
 type errorString string
 
 func (e errorString) Error() string { return string(e) }
+
+// TestWindowedSpectrumScratchMatchesPooled pins the caller-owned
+// scratch entry points to the pooled ones bit-for-bit: same butterfly
+// schedule, same packing, only the workspace ownership differs.
+func TestWindowedSpectrumScratchMatchesPooled(t *testing.T) {
+	var s FFTScratch // zero value, grown on first use
+	for _, n := range goldenSizes() {
+		x := randomReal(n, int64(n)+99)
+		p := PlanFFT(NextPowerOfTwo(n))
+		for _, win := range []Window{Rectangular, Hann, Hamming} {
+			pooledMag := p.WindowedSpectrumInto(nil, x, win)
+			ownedMag := p.WindowedSpectrumScratch(nil, x, win, &s)
+			pooledPow := p.WindowedPowerSpectrumInto(nil, x, win)
+			ownedPow := p.WindowedPowerSpectrumScratch(nil, x, win, &s)
+			for k := range pooledMag {
+				if pooledMag[k] != ownedMag[k] {
+					t.Fatalf("n=%d win=%v bin %d: scratch magnitude %g != pooled %g",
+						n, win, k, ownedMag[k], pooledMag[k])
+				}
+				if pooledPow[k] != ownedPow[k] {
+					t.Fatalf("n=%d win=%v bin %d: scratch power %g != pooled %g",
+						n, win, k, ownedPow[k], pooledPow[k])
+				}
+			}
+		}
+	}
+}
+
+// TestWindowedSpectrumScratchSteadyStateAllocs is the reason the
+// scratch entry points exist: a warmed caller-owned workspace never
+// touches the GC-clearable pool, so repeated calls allocate nothing.
+func TestWindowedSpectrumScratchSteadyStateAllocs(t *testing.T) {
+	x := randomReal(2205, 5) // a 50 ms window at 44.1 kHz
+	p := PlanFFT(NextPowerOfTwo(len(x)))
+	var s FFTScratch
+	dst := p.WindowedSpectrumScratch(nil, x, Hann, &s) // warm up
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = p.WindowedSpectrumScratch(dst, x, Hann, &s)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state WindowedSpectrumScratch allocates %.1f objects/op, want 0", allocs)
+	}
+}

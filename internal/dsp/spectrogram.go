@@ -66,17 +66,17 @@ func STFTParallel(x []float64, sampleRate float64, fftSize, hopSize int, win Win
 	if workers > nFrames {
 		workers = nFrames
 	}
-	doFrame := func(s *fftScratch, f int) {
+	doFrame := func(s *FFTScratch, f int) {
 		start := f * hopSize
 		end := start + fftSize
 		if end > len(x) {
 			end = len(x)
 		}
-		s.spec = p.realSpectrumWindowed(s.spec[:0], x[start:end], coef)
+		s.spec = p.realSpectrumWindowed(s.spec[:0], x[start:end], coef, s)
 		powerInto(sg.Power[f], s.spec)
 	}
 	if workers <= 1 {
-		s := p.scratch.Get().(*fftScratch)
+		s := p.getScratch()
 		for f := 0; f < nFrames; f++ {
 			doFrame(s, f)
 		}
@@ -88,7 +88,7 @@ func STFTParallel(x []float64, sampleRate float64, fftSize, hopSize int, win Win
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			s := p.scratch.Get().(*fftScratch)
+			s := p.getScratch()
 			for f := w; f < nFrames; f += workers {
 				doFrame(s, f)
 			}
@@ -114,14 +114,14 @@ func STFTFrames(x []float64, sampleRate float64, fftSize, hopSize int, win Windo
 	p := PlanFFT(fftSize)
 	coef := win.coefficients(fftSize)
 	half := fftSize/2 + 1
-	s := p.scratch.Get().(*fftScratch)
+	s := p.getScratch()
 	nFrames := 0
 	for start := 0; start < len(x); start += hopSize {
 		end := start + fftSize
 		if end > len(x) {
 			end = len(x)
 		}
-		s.spec = p.realSpectrumWindowed(s.spec[:0], x[start:end], coef)
+		s.spec = p.realSpectrumWindowed(s.spec[:0], x[start:end], coef, s)
 		powerInto(s.vals[:half], s.spec)
 		fn(nFrames, float64(start)/sampleRate, s.vals[:half])
 		nFrames++

@@ -1,0 +1,90 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := Workers(0), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("Workers(0) = %d, want %d", got, want)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 257
+		visits := make([]int32, n)
+		ForEach(n, workers, func(i int) {
+			atomic.AddInt32(&visits[i], 1)
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachResultsReadableWithoutSynchronisation(t *testing.T) {
+	// The documented contract: work completed inside fn happens-before
+	// ForEach returns, so plain writes to results[i] are safe to read.
+	const n = 100
+	results := make([]int, n)
+	ForEach(n, 8, func(i int) { results[i] = i * i })
+	for i, v := range results {
+		if v != i*i {
+			t.Fatalf("results[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestForEachSerialPathRunsOnCallerGoroutine(t *testing.T) {
+	// workers=1 must be a plain loop: strictly ordered, no goroutines.
+	var order []int
+	ForEach(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	calls := 0
+	ForEach(0, 4, func(int) { calls++ })
+	ForEach(-5, 4, func(int) { calls++ })
+	if calls != 0 {
+		t.Errorf("fn called %d times for empty index spaces", calls)
+	}
+}
+
+func TestForEachMoreWorkersThanTasks(t *testing.T) {
+	var calls atomic.Int64
+	ForEach(3, 64, func(int) { calls.Add(1) })
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 3", calls.Load())
+	}
+}
+
+// TestForEachOverlapsLatency pins that the pool actually runs tasks
+// concurrently: 8 sleeping tasks on 8 workers must take far less than
+// the serial sum even on a single-core machine (sleeping is not
+// CPU-bound). This is the pool's liveness proof in environments where
+// a CPU-bound speedup is not measurable.
+func TestForEachOverlapsLatency(t *testing.T) {
+	const d = 20 * time.Millisecond
+	start := time.Now()
+	ForEach(8, 8, func(int) { time.Sleep(d) })
+	if took := time.Since(start); took > 6*d {
+		t.Errorf("8 concurrent %v sleeps took %v — pool is not overlapping work", d, took)
+	}
+}

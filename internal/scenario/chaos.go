@@ -10,6 +10,7 @@ import (
 	"mdn/internal/mp"
 	"mdn/internal/netsim"
 	"mdn/internal/openflow"
+	"mdn/internal/parallel"
 	"mdn/internal/telemetry"
 )
 
@@ -47,6 +48,13 @@ type ChaosConfig struct {
 	DurationS float64 `json:"duration_s,omitempty"`
 	// Scenarios selects pipelines (default all of ChaosScenarioNames).
 	Scenarios []string `json:"scenarios,omitempty"`
+	// Workers bounds the sweep's worker pool. Points are independent —
+	// each builds its own simulation, room, and controller, and derives
+	// its fault stream from Seed and its grid position, not from
+	// execution order — so they run concurrently; <= 0 means
+	// GOMAXPROCS, 1 forces the serial sweep. The report is
+	// byte-identical at every worker count.
+	Workers int `json:"workers,omitempty"`
 }
 
 // ChaosPoint is one (scenario, drop rate) measurement.
@@ -98,7 +106,12 @@ type ChaosReport struct {
 	Metrics *telemetry.Snapshot `json:"-"`
 }
 
-// RunChaos executes the sweep and returns its report.
+// RunChaos executes the sweep and returns its report. The grid of
+// (scenario, drop rate) points fans out over cfg.Workers goroutines
+// (GOMAXPROCS when <= 0); each point owns its whole world — sim, room,
+// controller, fault stream — and writes into a pre-assigned report
+// slot, so the report is byte-identical to the serial sweep at every
+// worker count.
 func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	drops := cfg.DropRates
 	if len(drops) == 0 {
@@ -112,37 +125,56 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	if len(names) == 0 {
 		names = ChaosScenarioNames
 	}
-	rep := &ChaosReport{Seed: cfg.Seed, DurationS: dur}
-	reg := telemetry.New()
-	for si, name := range names {
+	// Validate the whole grid before any point runs: a bad cell must
+	// fail the sweep up front, not mid-flight with half the pool busy.
+	runs := make([]chaosRun, len(names))
+	for i, name := range names {
 		run, ok := chaosScenarios[name]
 		if !ok {
 			return nil, fmt.Errorf("scenario: unknown chaos scenario %q (have %s)",
 				name, strings.Join(ChaosScenarioNames, ", "))
 		}
-		for ri, rate := range drops {
-			if rate < 0 || rate > 1 {
-				return nil, fmt.Errorf("scenario: chaos drop rate %g outside [0, 1]", rate)
-			}
-			faults := netsim.Faults{
-				DropProb:  rate,
-				FlipProb:  cfg.FlipProb,
-				TruncProb: cfg.TruncProb,
-				JitterMax: cfg.JitterMaxS,
-				// Per-point stream: same config, same faults. The seed
-				// is bit-mixed because math/rand's early draws are
-				// visibly correlated across sequential seeds.
-				Seed: mixSeed(cfg.Seed*10000 + int64(si)*100 + int64(ri)),
-			}
-			pt := run(reg, faults, dur)
-			pt.Scenario = name
-			pt.DropRate = rate
-			if pt.GroundTruth > 0 {
-				pt.Recall = float64(pt.Detected) / float64(pt.GroundTruth)
-			}
-			rep.Points = append(rep.Points, pt)
+		runs[i] = run
+	}
+	for _, rate := range drops {
+		if rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("scenario: chaos drop rate %g outside [0, 1]", rate)
 		}
 	}
+	type gridCell struct{ si, ri int }
+	cells := make([]gridCell, 0, len(names)*len(drops))
+	for si := range names {
+		for ri := range drops {
+			cells = append(cells, gridCell{si, ri})
+		}
+	}
+	rep := &ChaosReport{Seed: cfg.Seed, DurationS: dur, Points: make([]ChaosPoint, len(cells))}
+	// One registry for the whole sweep, shared across workers: its
+	// get-or-create series are guarded internally and update with
+	// atomics, and the JSON report excludes the snapshot, so the
+	// byte-identity contract is untouched by telemetry interleaving.
+	reg := telemetry.New()
+	parallel.ForEach(len(cells), parallel.Workers(cfg.Workers), func(i int) {
+		c := cells[i]
+		faults := netsim.Faults{
+			DropProb:  drops[c.ri],
+			FlipProb:  cfg.FlipProb,
+			TruncProb: cfg.TruncProb,
+			JitterMax: cfg.JitterMaxS,
+			// Per-point stream derived from the grid position, never
+			// from execution order: same config, same faults. The seed
+			// is bit-mixed because math/rand's early draws are visibly
+			// correlated across sequential seeds.
+			Seed: mixSeed(cfg.Seed*10000 + int64(c.si)*100 + int64(c.ri)),
+		}
+		pt := runs[c.si](reg, faults, dur)
+		pt.Scenario = names[c.si]
+		pt.DropRate = drops[c.ri]
+		if pt.GroundTruth > 0 {
+			pt.Recall = float64(pt.Detected) / float64(pt.GroundTruth)
+		}
+		rep.Points[i] = pt
+	})
 	snap := reg.Snapshot()
 	rep.Metrics = &snap
 	return rep, nil

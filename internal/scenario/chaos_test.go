@@ -56,6 +56,65 @@ func TestChaosSweepIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosParallelSweepByteIdenticalToSerial pins the worker-pool
+// sweep to the serial one: same seed, same grid, same JSON bytes, for
+// more than one seed. Fault streams derive from each point's grid
+// position and every point owns its own simulation, so pool
+// scheduling must be invisible in the report.
+func TestChaosParallelSweepByteIdenticalToSerial(t *testing.T) {
+	for _, seed := range []int64{7, 41} {
+		cfg := ChaosConfig{
+			Seed:      seed,
+			DropRates: []float64{0, 0.3},
+			DurationS: 8,
+		}
+		cfg.Workers = 1
+		serial, err := RunChaos(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Workers = 4
+		par, err := RunChaos(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sj, err := json.Marshal(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pj, err := json.Marshal(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(sj) != string(pj) {
+			t.Errorf("seed %d: parallel sweep diverged from serial:\n%s\nvs\n%s",
+				seed, serial.Table(), par.Table())
+		}
+	}
+}
+
+// BenchmarkChaosSweep measures the sweep wall clock serial versus
+// pooled — the speedup evidence for BENCH_PR5.json. On a single-core
+// host the pooled rows pin scheduling overhead instead of scaling.
+func BenchmarkChaosSweep(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		name := "serial"
+		if w > 1 {
+			name = "workers=4"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := chaosTestConfig()
+				cfg.DurationS = 5
+				cfg.Workers = w
+				if _, err := RunChaos(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func containsSubstr(s, sub string) bool {
 	for i := 0; i+len(sub) <= len(s); i++ {
 		if s[i:i+len(sub)] == sub {

@@ -83,6 +83,10 @@ type (
 	SubscriberStatus = core.SubscriberStatus
 	// WireCounters aggregates one wire's sent/dropped/corrupted counts.
 	WireCounters = core.WireCounters
+	// Fleet fans one analysis window over many microphones on a
+	// worker pool of detector clones, merging detections
+	// deterministically (see Controller.EnableFleet).
+	Fleet = core.Fleet
 	// Programmer installs flow rules with retry and idempotency.
 	Programmer = openflow.Programmer
 	// MetricsRegistry names and aggregates pipeline metrics.
@@ -242,6 +246,14 @@ func NewKnockGenerator(secret []byte) *KnockGenerator {
 // channel, with deterministic backoff jitter from the seed.
 func NewProgrammer(ch *openflow.Channel, seed int64) *Programmer {
 	return openflow.NewProgrammer(ch, seed)
+}
+
+// NewFleet builds a many-microphone analysis fleet cloning template
+// for each of workers pool slots (workers <= 0 means GOMAXPROCS,
+// workers == 1 is serial). The result is identical at any pool size;
+// Controller.EnableFleet wires one into a controller's window loop.
+func NewFleet(template *Detector, workers int) *Fleet {
+	return core.NewFleet(template, workers)
 }
 
 // NewMetricsRegistry creates an empty metrics registry. Pass it to
