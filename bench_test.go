@@ -164,6 +164,43 @@ func BenchmarkCaptureInto(b *testing.B) {
 	}
 }
 
+// BenchmarkCaptureCulled measures audibility culling on the capture
+// path: a 256-speaker sparse room (10 m rack-row spacing) where the
+// microphone can hear only the handful of emitters above its noise
+// floor. The culled and full rows render the identical window; the
+// culled row must stay 0 allocs/op, and the gap between them is the
+// per-window saving the fleet path multiplies by the microphone
+// count.
+func BenchmarkCaptureCulled(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		cull bool
+	}{{"culled", true}, {"full", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			room := acoustic.NewRoom(44100, 99)
+			if mode.cull {
+				room.CullThreshold = CullAuto
+			}
+			mic := room.AddMicrophone("controller", acoustic.Position{}, 0.0005)
+			for i := 0; i < 256; i++ {
+				sp := room.AddSpeaker("s"+strconv.Itoa(i),
+					acoustic.Position{X: 10 * float64(i), Y: 1})
+				sp.Play(0, audio.Tone{Frequency: 400 + 20*float64(i),
+					Duration: 3600, Amplitude: acoustic.SPLToAmplitude(60)})
+			}
+			// Window at t=10 s: far enough in that every wavefront
+			// (the farthest speaker is 2.55 km ≈ 7.4 s out) overlaps
+			// it, so the full row really mixes all 256 emitters.
+			buf := mic.CaptureInto(nil, 10.1, 10.15)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = mic.CaptureInto(buf, 10.1, 10.15)
+			}
+		})
+	}
+}
+
 // fleetRoom builds the N-voice fleet world: one speaker per switch
 // holding a sustained tone, one microphone per switch, and an FFT
 // detector watching all N frequencies.
@@ -187,8 +224,9 @@ func fleetRoom(n int) ([]*acoustic.Microphone, *Detector) {
 // 50 ms controller window fanned over N microphones by per-worker
 // detector clones, serial versus a GOMAXPROCS pool, with detections
 // merged deterministically. Every row must hold 0 allocs/op at
-// steady state. The full 1–256-voice scale suite and the worker
-// sweep live in internal/core (numbers in BENCH_PR5.json).
+// steady state. The full 1–1024-voice scale suite — culled versus
+// nocull on sparse placement — and the worker sweep live in
+// internal/core (numbers in BENCH_PR6.json).
 func BenchmarkFleet(b *testing.B) {
 	for _, n := range []int{1, 8, 64} {
 		mics, det := fleetRoom(n)

@@ -33,6 +33,13 @@ type Speaker struct {
 	MaxAmplitude float64
 
 	room *Room
+
+	// pairs caches the geometry to every registered microphone,
+	// indexed by Microphone.idx. Built at registration (positions are
+	// fixed once placed) and extended by AddMicrophone, it is what the
+	// capture scan indexes instead of recomputing a distance per
+	// (emission, microphone).
+	pairs []pairGeom
 }
 
 // Play schedules a tone to start at time at (seconds). The room keeps
@@ -46,17 +53,7 @@ func (s *Speaker) Play(at float64, tone audio.Tone) {
 	r := s.room
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	e := emission{Emission: Emission{At: at, Tone: tone, Speaker: s.Name}, sp: s}
-	n := len(r.emissions)
-	if n == 0 || !emissionLess(&e, &r.emissions[n-1]) {
-		r.emissions = append(r.emissions, e)
-		return
-	}
-	// Out-of-order schedule: insert at the total-order position.
-	i := sort.Search(n, func(k int) bool { return emissionLess(&e, &r.emissions[k]) })
-	r.emissions = append(r.emissions, emission{})
-	copy(r.emissions[i+1:], r.emissions[i:])
-	r.emissions[i] = e
+	r.insertEmission(emission{Emission: Emission{At: at, Tone: tone, Speaker: s.Name}, sp: s})
 }
 
 // emissionLess is a total order on emissions: start time first, then
@@ -99,6 +96,13 @@ type Microphone struct {
 
 	room *Room
 
+	// idx is the microphone's registration index: its slot in every
+	// speaker's pair-geometry cache.
+	idx int
+	// nameSeed is the FNV-1a hash of Name, the per-microphone
+	// component of the self-noise seed.
+	nameSeed int64
+
 	// Capture scratch, reused across windows so steady-state capture
 	// allocates nothing. It makes a Microphone single-capturer: at most
 	// one goroutine may run Capture/CaptureInto on a given microphone
@@ -140,6 +144,21 @@ type Room struct {
 	// spectra are dominated by low frequencies, where absorption is
 	// negligible at room scales).
 	AirAbsorption bool
+	// CullThreshold enables audibility culling: an emission whose
+	// received peak amplitude at a microphone — after distance
+	// attenuation and, when modelled, air absorption — falls below the
+	// floor is skipped instead of synthesized. 0 (the default)
+	// disables culling: the mix is the bit-exact legacy full walk. Set
+	// CullAuto to use each microphone's own SelfNoiseRMS as its floor
+	// — the deployment default, since a tone buried below the
+	// microphone's own electronics cannot change a detection. Any
+	// positive value is an explicit shared linear-amplitude floor.
+	//
+	// Contract: the mix of the emissions at or above the floor is
+	// bit-exact with the unculled mix (same walk order, same float
+	// ops); the waveform error from the culled remainder is bounded by
+	// the sum of their received amplitudes, each below the floor.
+	CullThreshold float64
 
 	// mu is a read-write lock: Play and the Add* registrations take
 	// the write side; Capture holds the read side for the whole mix,
@@ -148,8 +167,20 @@ type Room struct {
 	mu        sync.RWMutex
 	speakers  map[string]*Speaker
 	mics      map[string]*Microphone
+	micList   []*Microphone // registration order; Microphone.idx indexes it
 	noise     []*NoiseSource
 	emissions []emission // kept in emissionLess total order
+	// endMax[i] is the max of At+Duration over emissions[0..i] — the
+	// prefix-max expiry index capture and CompactBefore binary-search
+	// (see store.go).
+	endMax []float64
+	// maxPairDelay is the worst-case speaker→microphone propagation
+	// delay over all registered pairs: the safety margin when deciding
+	// an emission can no longer be heard anywhere.
+	maxPairDelay float64
+	// tm is the capture-path telemetry; zero (all nil) until
+	// Instrument.
+	tm roomMetrics
 }
 
 // emission is the internal schedule record: the public Emission plus
@@ -181,6 +212,13 @@ func (r *Room) AddSpeaker(name string, pos Position) *Speaker {
 		panic(fmt.Sprintf("acoustic: duplicate speaker %q", name))
 	}
 	s := &Speaker{Name: name, Pos: pos, room: r}
+	s.pairs = make([]pairGeom, len(r.micList))
+	for i, m := range r.micList {
+		s.pairs[i] = makePair(pos, m.Pos)
+		if s.pairs[i].del > r.maxPairDelay {
+			r.maxPairDelay = s.pairs[i].del
+		}
+	}
 	r.speakers[name] = s
 	return s
 }
@@ -192,8 +230,19 @@ func (r *Room) AddMicrophone(name string, pos Position, selfNoiseRMS float64) *M
 	if _, dup := r.mics[name]; dup {
 		panic(fmt.Sprintf("acoustic: duplicate microphone %q", name))
 	}
-	m := &Microphone{Name: name, Pos: pos, SelfNoiseRMS: selfNoiseRMS, room: r}
+	m := &Microphone{
+		Name: name, Pos: pos, SelfNoiseRMS: selfNoiseRMS,
+		room: r, idx: len(r.micList), nameSeed: hashName(name),
+	}
+	for _, s := range r.speakers {
+		g := makePair(s.Pos, pos)
+		if g.del > r.maxPairDelay {
+			r.maxPairDelay = g.del
+		}
+		s.pairs = append(s.pairs, g)
+	}
 	r.mics[name] = m
+	r.micList = append(r.micList, m)
 	return m
 }
 
@@ -278,36 +327,61 @@ func (m *Microphone) CaptureInto(out *audio.Buffer, from, to float64) *audio.Buf
 	r.mu.RLock()
 	// Emissions are sorted by At and arrive no earlier than they
 	// start, so everything from the first At >= to onward is
-	// inaudible in this window — binary-search the boundary and walk
-	// only the audible prefix.
+	// inaudible in this window — binary-search the boundary. A second
+	// search on the endMax prefix-max index bounds the live region
+	// from below: emissions whose sound has died out everywhere before
+	// from are skipped without iteration, so a long-running schedule
+	// costs each window only its live span, not its whole history.
 	ems := r.emissions
 	cut := sort.Search(len(ems), func(i int) bool { return ems[i].At >= to })
-	for i := 0; i < cut; i++ {
+	lo := r.liveFrom(from, cut)
+	floor := r.cullFloor(m)
+	idx := m.idx
+	var mixed, culled int
+	for i := lo; i < cut; i++ {
 		e := &ems[i]
-		dist := e.sp.Pos.Distance(m.Pos)
-		arrive := e.At + delay(dist)
+		g := &e.sp.pairs[idx]
+		arrive := e.At + g.del
 		if arrive >= to || arrive+e.Tone.Duration <= from {
 			continue
 		}
 		tone := e.Tone
-		tone.Amplitude *= attenuation(dist)
+		tone.Amplitude *= g.att
 		if r.AirAbsorption {
-			tone.Amplitude *= airAbsorption(tone.Frequency, dist)
+			tone.Amplitude *= airAbsorption(tone.Frequency, g.dist)
+		}
+		// Audibility cull: the received peak amplitude is now final,
+		// so one compare decides whether this emission can matter at
+		// this microphone. With the floor at 0 nothing is culled and
+		// the walk is the bit-exact legacy mix.
+		if tone.Amplitude < floor {
+			culled++
+			continue
 		}
 		tone.MixEnvelopeAt(out, arrive-from, audio.DefaultEnvelope)
+		mixed++
 	}
+	scanned := cut - lo
 
 	for _, src := range r.noise {
 		m.mixNoise(out, src, from, to)
 	}
+	tm := r.tm
 	r.mu.RUnlock()
+
+	tm.scanned.Add(uint64(scanned))
+	tm.mixed.Add(uint64(mixed))
+	tm.culled.Add(uint64(culled))
+	tm.scanHist.Observe(float64(scanned))
 
 	if m.SelfNoiseRMS > 0 {
 		// Seed per (mic, window) so repeated captures of the same
 		// window return identical waveforms. The generator is reused
 		// and reseeded, which reproduces the fresh-generator stream
-		// without allocating.
-		seed := r.Seed ^ int64(math.Float64bits(from)) ^ int64(len(m.Name))
+		// without allocating. The microphone component is an FNV-1a
+		// hash of the name, so same-length names (mic-0, mic-1, ...)
+		// still get distinct noise streams.
+		seed := r.Seed ^ int64(math.Float64bits(from)) ^ m.nameSeed
 		if m.noiseRng == nil {
 			m.noiseRng = rand.New(rand.NewSource(seed))
 		} else {
@@ -386,13 +460,21 @@ func (m *Microphone) mixNoise(out *audio.Buffer, src *NoiseSource, from, to floa
 	}
 }
 
-// SNRAt estimates the signal-to-noise ratio in dB that a tone of the
-// given source amplitude played by speaker sp would enjoy at the
-// microphone, against the current noise sources (measured over a 1 s
-// noise window starting at probeTime). Useful for experiment design.
-func (m *Microphone) SNRAt(sp *Speaker, amplitude, probeTime float64) float64 {
+// SNRAt estimates the signal-to-noise ratio in dB that a tone at freq
+// Hz of the given source amplitude played by speaker sp would enjoy
+// at the microphone, against the current noise sources (measured over
+// a 1 s noise window starting at probeTime). When the room models air
+// absorption the estimate includes the frequency-dependent
+// atmospheric loss, which is material for high-frequency tones at
+// distance — the 1/r law alone overestimates those links. Useful for
+// experiment design.
+func (m *Microphone) SNRAt(sp *Speaker, freq, amplitude, probeTime float64) float64 {
 	dist := sp.Pos.Distance(m.Pos)
-	sig := amplitude * attenuation(dist) / math.Sqrt2 // RMS of a sine
+	sig := amplitude * attenuation(dist)
+	if m.room.AirAbsorption {
+		sig *= airAbsorption(freq, dist)
+	}
+	sig /= math.Sqrt2 // RMS of a sine
 	noiseBuf := m.Capture(probeTime, probeTime+1)
 	nRMS := noiseBuf.RMS()
 	if nRMS <= 0 {

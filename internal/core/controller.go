@@ -38,6 +38,15 @@ type Controller struct {
 	// attribute samples per application. It allocates per call — an
 	// opt-in profiling aid, not a steady-state setting.
 	ProfileSubscribers bool
+	// Retention, when positive, bounds the acoustic history the window
+	// loop keeps: after analysing [from, to) the controller compacts
+	// the room's emission store below from−Retention (see
+	// acoustic.Room.CompactBefore), so a long-running deployment's
+	// memory tracks the audible horizon instead of the whole schedule.
+	// 0 (the default) keeps every emission — required when anything
+	// re-captures arbitrary past windows out of band (AnalyseOnce
+	// consumers, experiment WAV dumps).
+	Retention float64
 
 	sim    *netsim.Sim
 	mic    *acoustic.Microphone
@@ -169,6 +178,9 @@ func (c *Controller) analyse(from, to float64) {
 				c.invoke(s, func() { s.onDet(det) })
 			}
 		}
+	}
+	if c.Retention > 0 {
+		c.mic.Room().CompactBefore(from - c.Retention)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mdn/internal/acoustic"
+	"mdn/internal/audio"
 	"mdn/internal/mp"
 )
 
@@ -172,5 +173,41 @@ func TestVoicePlayMessageBypassesRateLimit(t *testing.T) {
 	}
 	if len(tb.room.Emissions()) != 3 {
 		t.Errorf("emissions = %d", len(tb.room.Emissions()))
+	}
+}
+
+func TestControllerRetentionBoundsEmissions(t *testing.T) {
+	// Two controllers over identical schedules: one retaining
+	// everything (legacy), one compacting behind the window loop. The
+	// compacting controller must hear the same tones while holding the
+	// emission store at the audible horizon.
+	run := func(retention float64) (*Controller, *acoustic.Room) {
+		tb := newTestbed(9)
+		freqs := tb.plan.MustAllocate("s1", 1)
+		sp := tb.room.AddSpeaker("s1", acoustic.Position{X: 1})
+		ctrl := tb.controller(freqs)
+		ctrl.Retention = retention
+		tb.sim.Every(0.1, 0.1, func(now float64) {
+			sp.Play(now, audio.Tone{Frequency: freqs[0], Duration: 0.06, Amplitude: 0.05})
+		})
+		ctrl.Start(0)
+		tb.sim.RunUntil(30)
+		return ctrl, tb.room
+	}
+	legacy, legacyRoom := run(0)
+	compacting, room := run(0.5)
+	if legacy.Detections == 0 {
+		t.Fatal("legacy controller heard nothing; test scenario is broken")
+	}
+	if compacting.Detections != legacy.Detections {
+		t.Errorf("retention changed detections: %d vs legacy %d", compacting.Detections, legacy.Detections)
+	}
+	if got := legacyRoom.EmissionCount(); got < 290 {
+		t.Errorf("legacy room holds %d emissions, want the full ~300 schedule", got)
+	}
+	// 300 tones scheduled; retention 0.5 s spans ~5 of the 0.1 s
+	// schedule slots (plus in-flight margin).
+	if got := room.EmissionCount(); got > 20 {
+		t.Errorf("compacting room holds %d emissions, want the audible horizon (~6)", got)
 	}
 }

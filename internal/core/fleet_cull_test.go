@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mdn/internal/acoustic"
+)
+
+// The fleet-level culling contract, CI-gated (see the culling smoke
+// step in ci.yml): at the default threshold the culled fleet produces
+// the same detections as the naive full mix, allocates nothing at
+// steady state, and stays byte-identical across worker counts.
+
+// analyseWindows runs a few windows through a fresh fleet over the
+// bench room and returns copies of the merged detections.
+func analyseWindows(tb testing.TB, n, workers int, cull bool, windows int) [][]Detection {
+	mics, det := benchFleetRoom(n, cull)
+	f := NewFleet(det, workers)
+	defer f.Close()
+	for _, m := range mics {
+		f.AddMicrophone(m)
+	}
+	out := make([][]Detection, windows)
+	for w := 0; w < windows; w++ {
+		from := float64(w) * 0.050
+		out[w] = append([]Detection(nil), f.Analyse(from, from+0.050)...)
+	}
+	return out
+}
+
+// TestFleetCullingDetectionsMatch is the default-threshold identity
+// the CI smoke enforces: on the sparse fleet, culling (floor = each
+// mic's SelfNoiseRMS) must yield the same detection set as the naive
+// mix — same count, exactly equal times and frequencies, amplitudes
+// within the cull floor (sub-floor contributions perturb FFT bins by
+// at most the culled amplitude sum, far below it in practice).
+func TestFleetCullingDetectionsMatch(t *testing.T) {
+	const n, workers, windows = 64, 4, 3
+	culled := analyseWindows(t, n, workers, true, windows)
+	naive := analyseWindows(t, n, workers, false, windows)
+	for w := range culled {
+		if len(culled[w]) != len(naive[w]) {
+			t.Fatalf("window %d: %d detections culled vs %d naive", w, len(culled[w]), len(naive[w]))
+		}
+		if len(culled[w]) < n {
+			t.Errorf("window %d: %d detections, want at least one per voice (%d)", w, len(culled[w]), n)
+		}
+		for i := range culled[w] {
+			c, nv := culled[w][i], naive[w][i]
+			if c.Time != nv.Time || c.Frequency != nv.Frequency {
+				t.Fatalf("window %d det %d: (t=%v f=%v) culled vs (t=%v f=%v) naive",
+					w, i, c.Time, c.Frequency, nv.Time, nv.Frequency)
+			}
+			if math.Abs(c.Amplitude-nv.Amplitude) > 0.0005 {
+				t.Fatalf("window %d det %d: amplitude %v culled vs %v naive exceeds the cull floor",
+					w, i, c.Amplitude, nv.Amplitude)
+			}
+		}
+	}
+}
+
+// TestFleetCullingBitExactWhenAllAudible uses the dense PR5 placement
+// (every voice within centimetres, everything far above any noise
+// floor) where culling removes nothing — so the merged detections
+// must be exactly identical, field for field.
+func TestFleetCullingBitExactWhenAllAudible(t *testing.T) {
+	run := func(cull bool) []Detection {
+		room, mics, det := fleetRoom(8)
+		if cull {
+			room.CullThreshold = acoustic.CullAuto
+		}
+		f := NewFleet(det, 4)
+		defer f.Close()
+		for _, m := range mics {
+			f.AddMicrophone(m)
+		}
+		return append([]Detection(nil), f.Analyse(0, 0.050)...)
+	}
+	culled, naive := run(true), run(false)
+	if len(culled) == 0 {
+		t.Fatal("dense fleet produced no detections")
+	}
+	if len(culled) != len(naive) {
+		t.Fatalf("%d detections culled vs %d naive", len(culled), len(naive))
+	}
+	for i := range culled {
+		if culled[i] != naive[i] {
+			t.Fatalf("det %d differs: %+v culled vs %+v naive", i, culled[i], naive[i])
+		}
+	}
+}
+
+// TestFleetCulledByteIdenticalAcrossWorkers extends the PR5 worker
+// determinism guarantee to the sharded, culled path.
+func TestFleetCulledByteIdenticalAcrossWorkers(t *testing.T) {
+	const n, windows = 32, 3
+	want := analyseWindows(t, n, 1, true, windows)
+	for _, workers := range []int{2, 4, 8, 16} {
+		got := analyseWindows(t, n, workers, true, windows)
+		for w := range want {
+			if len(got[w]) != len(want[w]) {
+				t.Fatalf("workers=%d window %d: %d detections vs %d serial", workers, w, len(got[w]), len(want[w]))
+			}
+			for i := range want[w] {
+				if got[w][i] != want[w][i] {
+					t.Fatalf("workers=%d window %d det %d differs from serial: %+v vs %+v",
+						workers, w, i, got[w][i], want[w][i])
+				}
+			}
+		}
+	}
+}
+
+// TestFleetCulledSteadyStateAllocs is the zero-alloc bar on the
+// culled, sharded path — serial and parallel.
+func TestFleetCulledSteadyStateAllocs(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		mics, det := benchFleetRoom(64, true)
+		f := NewFleet(det, workers)
+		for _, m := range mics {
+			f.AddMicrophone(m)
+		}
+		f.Analyse(0, 0.050)
+		f.Analyse(0.050, 0.100)
+		i := 0
+		allocs := testing.AllocsPerRun(10, func() {
+			from := float64(2+i) * 0.050
+			i++
+			f.Analyse(from, from+0.050)
+		})
+		f.Close()
+		if allocs != 0 {
+			t.Errorf("workers=%d: culled fleet allocates %v/op at steady state, want 0", workers, allocs)
+		}
+	}
+}

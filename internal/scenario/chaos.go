@@ -230,6 +230,9 @@ type chaosEnv struct {
 func newChaosEnv(reg *telemetry.Registry, faults netsim.Faults) *chaosEnv {
 	sim := netsim.NewSim()
 	room := acoustic.NewRoom(44100, faults.Seed)
+	// Same acoustic-plane defaults as the scenario runner: cull at the
+	// microphone noise floor, compact behind the window loop.
+	room.CullThreshold = acoustic.CullAuto
 	mic := room.AddMicrophone("controller", acoustic.Position{}, 0.0005)
 	sw := netsim.NewSwitch(sim, "s1")
 	sp := room.AddSpeaker("s1", acoustic.Position{X: 1})
@@ -241,6 +244,8 @@ func newChaosEnv(reg *telemetry.Registry, faults netsim.Faults) *chaosEnv {
 	// get-or-create semantics merge each point's counters into one
 	// sweep-wide series set.
 	ctrl.Instrument(reg)
+	ctrl.Retention = 2
+	room.Instrument(reg)
 	ctrl.RegisterVoice("s1", voice)
 	voice.Instrument(reg, "s1")
 	return &chaosEnv{sim: sim, sw: sw, voice: voice, ctrl: ctrl, plan: core.DefaultPlan(), reg: reg}

@@ -61,6 +61,13 @@ func Run(c *Config) (*Report, error) {
 	}
 	sim := netsim.NewSim()
 	room := acoustic.NewRoom(44100, c.Seed)
+	// Deployment defaults for the acoustic plane: audibility culling
+	// at each microphone's own noise floor (tones buried below the
+	// electronics cannot change a detection), and a bounded emission
+	// history — scenarios only ever consume the moving capture window,
+	// so the controller compacts 2 s behind it (Retention, set after
+	// the manager exists below).
+	room.CullThreshold = acoustic.CullAuto
 	mic := room.AddMicrophone("controller", acoustic.Position{}, 0.0005)
 	plan := core.DefaultPlan()
 
@@ -137,6 +144,8 @@ func Run(c *Config) (*Report, error) {
 	mgr := core.NewManager(sim, mic, plan)
 	reg := telemetry.New()
 	mgr.Ctrl.Instrument(reg)
+	mgr.Ctrl.Retention = 2
+	room.Instrument(reg)
 	for _, sc := range c.Switches {
 		mgr.Ctrl.RegisterVoice(sc.Name, voices[sc.Name])
 		voices[sc.Name].Instrument(reg, sc.Name)

@@ -139,6 +139,13 @@ const DefaultSpacing = core.DefaultSpacing
 // DefaultStride is the recommended slot stride for same-window tones.
 const DefaultStride = core.DefaultStride
 
+// CullAuto, assigned to Room.CullThreshold (see Testbed.EnableCulling),
+// turns on audibility culling with each microphone's own noise floor
+// as its threshold: emissions received below a microphone's
+// SelfNoiseRMS are skipped instead of mixed. Captures stay bit-exact
+// for every emission at or above the floor.
+const CullAuto = acoustic.CullAuto
+
 // NewFrequencyPlan creates a plan over [minHz, maxHz] with the given
 // slot spacing.
 func NewFrequencyPlan(minHz, maxHz, spacing float64) *FrequencyPlan {
@@ -284,6 +291,15 @@ func NewTestbed(seed int64) *Testbed {
 	mic := room.AddMicrophone("controller", acoustic.Position{}, 0.0005)
 	return &Testbed{Sim: sim, Room: room, Mic: mic, Plan: DefaultPlan()}
 }
+
+// EnableCulling switches the testbed room to audibility-culled
+// capture: each microphone mixes only the emissions it can actually
+// hear above its own noise floor, which is what makes thousand-voice
+// fleets affordable per window (see DESIGN.md §5f). Mixing of audible
+// emissions is bit-exact with the unculled room; call with no
+// arguments for the noise-floor default, or set Room.CullThreshold
+// directly for an explicit floor.
+func (tb *Testbed) EnableCulling() { tb.Room.CullThreshold = CullAuto }
 
 // AddVoicedSwitch creates a switch whose Music Protocol sounder
 // drives a speaker at (x, y) metres from the controller microphone,
