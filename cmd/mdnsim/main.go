@@ -1,6 +1,10 @@
 // Command mdnsim runs a Music-Defined Networking deployment described
 // in a JSON scenario file: topology, applications, traffic, and room
-// noise. It prints a run report (text or JSON). With -chaos it instead
+// noise. It prints a run report (text or JSON). With -stream the
+// controller runs the streaming low-latency detection path — the
+// analysis window advances by -hop seconds per step instead of a whole
+// 50 ms window — and the report gains sound-to-detection latency
+// percentiles. With -chaos it instead
 // runs the built-in chaos sweep: the four end-to-end pipelines under a
 // range of injected control-channel fault rates. With -metrics the
 // run's telemetry registry is dumped to stdout after the report, in
@@ -10,6 +14,7 @@
 //
 //	mdnsim -f scenarios/telemetry.json
 //	mdnsim -f scenario.json -json
+//	mdnsim -f scenario.json -stream -hop 0.01
 //	cat scenario.json | mdnsim
 //	mdnsim -chaos -seed 7
 //	mdnsim -chaos -chaos-drops 0,0.3 -chaos-duration 10 -json
@@ -40,11 +45,23 @@ func main() {
 		seed     = flag.Int64("seed", 1, "chaos sweep seed")
 		workers  = flag.Int("workers", 0, "chaos sweep worker pool size (0 = GOMAXPROCS, 1 = serial); the report is identical at any setting")
 		metrics  = flag.Bool("metrics", false, "dump the run's telemetry in Prometheus text format after the report")
+		stream   = flag.Bool("stream", false, "run the streaming low-latency detection path (scenario and chaos runs)")
+		hop      = flag.Float64("hop", 0, "streaming hop in seconds (default 0.01; must subdivide the 50 ms window into whole samples)")
 	)
 	flag.Parse()
 
+	if *hop != 0 && !*stream {
+		fatal(fmt.Errorf("-hop requires -stream"))
+	}
 	if *chaos {
-		runChaos(*seed, *drops, *duration, *workers, *jsonOut, *metrics)
+		streamHop := 0.0
+		if *stream {
+			streamHop = *hop
+			if streamHop == 0 {
+				streamHop = scenario.DefaultHopS
+			}
+		}
+		runChaos(*seed, *drops, *duration, streamHop, *workers, *jsonOut, *metrics)
 		return
 	}
 
@@ -60,6 +77,15 @@ func main() {
 	cfg, err := scenario.Load(in)
 	if err != nil {
 		fatal(err)
+	}
+	if *stream {
+		cfg.Stream = true
+		if *hop != 0 {
+			cfg.HopS = *hop
+		}
+		if err := cfg.Validate(); err != nil {
+			fatal(err)
+		}
 	}
 	rep, err := scenario.Run(cfg)
 	if err != nil {
@@ -78,8 +104,8 @@ func main() {
 	printMetrics(rep.Metrics, *metrics)
 }
 
-func runChaos(seed int64, drops string, duration float64, workers int, jsonOut, metrics bool) {
-	cfg := scenario.ChaosConfig{Seed: seed, DurationS: duration, Workers: workers}
+func runChaos(seed int64, drops string, duration, streamHop float64, workers int, jsonOut, metrics bool) {
+	cfg := scenario.ChaosConfig{Seed: seed, DurationS: duration, Workers: workers, StreamHop: streamHop}
 	if drops != "" {
 		for _, s := range strings.Split(drops, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
@@ -153,6 +179,12 @@ func printReport(rep *scenario.Report) {
 			fmt.Printf("  wire %-8s %-8s sent %6d  dropped %5d  corrupted %5d\n",
 				w.Kind, w.Name, w.Sent, w.Dropped, w.Corrupted)
 		}
+	}
+	if s := rep.Stream; s != nil {
+		fmt.Printf("\nstreaming path: hop %.0f ms, %d hop(s), %d onset(s), %d capture error(s)\n",
+			s.HopS*1000, s.Hops, s.Onsets, s.CaptureErrors)
+		fmt.Printf("  sound-to-detection latency: p50 %.1f ms, p99 %.1f ms (sim time)\n",
+			s.DetectP50*1000, s.DetectP99*1000)
 	}
 }
 

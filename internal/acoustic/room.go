@@ -178,6 +178,10 @@ type Room struct {
 	// delay over all registered pairs: the safety margin when deciding
 	// an emission can no longer be heard anywhere.
 	maxPairDelay float64
+	// horizon is the latest time passed to CompactBefore: captures of
+	// windows starting before it may be missing dropped emissions.
+	// CaptureChecked refuses such reads with ErrCompacted (ring.go).
+	horizon float64
 	// tm is the capture-path telemetry; zero (all nil) until
 	// Instrument.
 	tm roomMetrics

@@ -136,6 +136,9 @@ func (r *Room) liveFrom(t float64, limit int) int {
 func (r *Room) CompactBefore(t float64) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if t > r.horizon {
+		r.horizon = t
+	}
 	n := r.liveFrom(t, len(r.emissions))
 	if n == 0 {
 		return 0

@@ -45,13 +45,16 @@ type Controller struct {
 	// memory tracks the audible horizon instead of the whole schedule.
 	// 0 (the default) keeps every emission — required when anything
 	// re-captures arbitrary past windows out of band (AnalyseOnce
-	// consumers, experiment WAV dumps).
+	// consumers, experiment WAV dumps). Out-of-band reads behind the
+	// compaction horizon fail with acoustic.ErrCompacted rather than
+	// silently analysing silence.
 	Retention float64
 
 	sim    *netsim.Sim
 	mic    *acoustic.Microphone
 	ticker *netsim.Ticker
 	fleet  *Fleet
+	stream *StreamController
 	buf    *audio.Buffer // reused capture scratch for the single-mic path
 
 	// mu guards the subscriber list so registration is safe from any
@@ -61,6 +64,12 @@ type Controller struct {
 	mu       sync.Mutex
 	subs     []*subscriber
 	autoName int
+	// subsGen counts registrations; snap/snapGen cache the dispatch
+	// snapshot so the hot path re-copies the list only when it changed
+	// (see snapshotSubs).
+	subsGen uint64
+	snapGen uint64
+	snap    []*subscriber
 
 	started bool
 	startAt float64
@@ -136,12 +145,16 @@ func (c *Controller) Start(at float64) {
 	})
 }
 
-// Stop halts polling. A stopped controller is idle, not stalled, in
+// Stop halts polling — the window loop and, if one is running, the
+// streaming pipeline. A stopped controller is idle, not stalled, in
 // its Health snapshot.
 func (c *Controller) Stop() {
 	if c.ticker != nil {
 		c.ticker.Stop()
 		c.ticker = nil
+	}
+	if c.stream != nil {
+		c.stream.Stop()
 	}
 	c.started = false
 }
@@ -158,6 +171,18 @@ func (c *Controller) analyse(from, to float64) {
 		dets = c.Detector.Detect(c.buf, from)
 	}
 	sp.End()
+	c.noteDetections(from, to, dets)
+	if c.Retention > 0 {
+		c.mic.Room().CompactBefore(from - c.Retention)
+	}
+}
+
+// noteDetections folds one analysed window into the controller:
+// counters, health inputs, and the supervised subscriber fan-out. It
+// is the shared back half of the batch window loop and the streaming
+// pipeline — both paths feed the same subscribers with the same batch
+// shape, so applications run unchanged on either.
+func (c *Controller) noteDetections(from, to float64, dets []Detection) {
 	c.Windows++
 	c.Detections += uint64(len(dets))
 	c.tm.windows.Inc()
@@ -166,30 +191,32 @@ func (c *Controller) analyse(from, to float64) {
 	subs := c.snapshotSubs()
 	for _, s := range subs {
 		if s.onWin != nil {
-			s := s
-			c.invoke(s, func() { s.onWin(from, dets) })
+			c.invoke(s, subCall{win: true, from: from, dets: dets})
 		}
 	}
 	for _, det := range dets {
-		det := det
 		for _, s := range subs {
 			if s.onDet != nil {
-				s := s
-				c.invoke(s, func() { s.onDet(det) })
+				c.invoke(s, subCall{det: det})
 			}
 		}
-	}
-	if c.Retention > 0 {
-		c.mic.Room().CompactBefore(from - c.Retention)
 	}
 }
 
 // AnalyseOnce runs one out-of-band analysis over [from, to) without
 // the poll loop — used by passive applications (fan monitoring) and
-// tests.
-func (c *Controller) AnalyseOnce(from, to float64) []Detection {
-	buf := c.mic.Capture(from, to)
-	return c.Detector.Detect(buf, from)
+// tests. Unlike the live window loop it may look arbitrarily far back
+// in time, so it captures through the checked path: when the requested
+// span precedes the room's compaction horizon (see
+// acoustic.Room.CompactBefore and Controller.Retention) it returns an
+// error wrapping acoustic.ErrCompacted instead of silently analysing a
+// window with the dropped emissions mixed as silence.
+func (c *Controller) AnalyseOnce(from, to float64) ([]Detection, error) {
+	buf, err := c.mic.CaptureChecked(nil, from, to)
+	if err != nil {
+		return nil, err
+	}
+	return c.Detector.Detect(buf, from), nil
 }
 
 // EnableFleet switches the controller's window analysis to a

@@ -91,11 +91,18 @@ func TestControllerAnalyseOnce(t *testing.T) {
 	ctrl := tb.controller(freqs)
 	tb.sim.Schedule(0.2, func() { voice.Play(freqs[0]) })
 	tb.sim.RunUntil(1)
-	got := ctrl.AnalyseOnce(0.2, 0.3)
+	got, err := ctrl.AnalyseOnce(0.2, 0.3)
+	if err != nil {
+		t.Fatalf("AnalyseOnce: %v", err)
+	}
 	if len(got) != 1 || got[0].Frequency != freqs[0] {
 		t.Errorf("AnalyseOnce = %+v", got)
 	}
-	if len(ctrl.AnalyseOnce(0.5, 0.6)) != 0 {
+	quiet, err := ctrl.AnalyseOnce(0.5, 0.6)
+	if err != nil {
+		t.Fatalf("AnalyseOnce: %v", err)
+	}
+	if len(quiet) != 0 {
 		t.Error("silence misdetected")
 	}
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"mdn/internal/audio"
 	"mdn/internal/dsp"
@@ -64,10 +66,17 @@ type Detector struct {
 	// than a simultaneous loud one.
 	RelativeFloor float64
 
+	// mu guards the watch list (and the analysis that reads it), so
+	// AddWatch is safe from any goroutine at any time — including
+	// mid-window, where it simply waits for the in-flight Detect. The
+	// lock is uncontended in steady state: one Lock/Unlock pair per
+	// window.
+	mu    sync.Mutex
 	watch []float64
-	// watchRev counts watch-list edits; Fleet compares it against its
-	// clones' revisions to know when they are stale.
-	watchRev uint64
+	// watchRev counts watch-list edits; Fleet snapshots it at fan-out
+	// and re-checks it at merge to detect a mid-window edit (see
+	// Fleet.Analyse). Atomic so the check never races the edit.
+	watchRev atomic.Uint64
 
 	// Reused scratch: the controller calls Detect once per 50 ms
 	// window forever, so steady-state detection must not allocate.
@@ -105,16 +114,35 @@ func NewDetector(method Method, watch []float64) *Detector {
 
 // Watch returns the watched frequencies.
 func (d *Detector) Watch() []float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	out := make([]float64, len(d.watch))
 	copy(out, d.watch)
 	return out
 }
 
-// AddWatch extends the watch list.
+// WatchLen returns the number of watched frequencies.
+func (d *Detector) WatchLen() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.watch)
+}
+
+// WatchRev returns the watch-list revision: it increments on every
+// AddWatch. Fleet snapshots it before fanning a window out and
+// re-checks it at merge, so an edit landing mid-window is detected
+// rather than half-applied.
+func (d *Detector) WatchRev() uint64 { return d.watchRev.Load() }
+
+// AddWatch extends the watch list. It is safe from any goroutine at
+// any time; an addition landing mid-window takes effect at the next
+// window.
 func (d *Detector) AddWatch(freqs ...float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.watch = append(d.watch, freqs...)
 	d.gplan = nil // coefficients are stale
-	d.watchRev++
+	d.watchRev.Add(1)
 }
 
 // Clone returns an independent detector with the same configuration
@@ -124,16 +152,19 @@ func (d *Detector) AddWatch(freqs ...float64) {
 // underneath come from the process-wide plan cache, which is
 // concurrency-safe — plans are shared, scratch is not.
 func (d *Detector) Clone() *Detector {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	w := make([]float64, len(d.watch))
 	copy(w, d.watch)
-	return &Detector{
+	c := &Detector{
 		Method:        d.Method,
 		MinAmplitude:  d.MinAmplitude,
 		ToleranceHz:   d.ToleranceHz,
 		RelativeFloor: d.RelativeFloor,
 		watch:         w,
-		watchRev:      d.watchRev,
 	}
+	c.watchRev.Store(d.watchRev.Load())
+	return c
 }
 
 // Detect analyses one capture window and returns the watched tones
@@ -143,18 +174,35 @@ func (d *Detector) Clone() *Detector {
 // The returned slice is scratch owned by the detector, valid until
 // the next Detect call; copy it to retain detections across windows.
 func (d *Detector) Detect(buf *audio.Buffer, windowStart float64) []Detection {
-	if buf == nil || buf.Len() == 0 || len(d.watch) == 0 {
+	if buf == nil || buf.Len() == 0 {
 		return nil
 	}
+	// Holding the watch lock across the whole analysis makes each
+	// window atomic with respect to AddWatch: an edit either precedes
+	// the window entirely or waits for the next one.
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.watch) == 0 {
+		return nil
+	}
+	return d.filter(d.amplitudes(buf), windowStart)
+}
+
+// amplitudes computes the per-watch pre-threshold amplitude estimates
+// of one window — the raw material of both the threshold filter and
+// the streaming path's edge dedup (which needs sub-threshold values
+// for its release hysteresis). The caller holds d.mu; the returned
+// slice is detector scratch.
+func (d *Detector) amplitudes(buf *audio.Buffer) []float64 {
 	switch d.Method {
 	case MethodFFT:
-		return d.detectFFT(buf, windowStart)
+		return d.ampsFFT(buf)
 	default:
-		return d.detectGoertzel(buf, windowStart)
+		return d.ampsGoertzel(buf)
 	}
 }
 
-func (d *Detector) detectGoertzel(buf *audio.Buffer, windowStart float64) []Detection {
+func (d *Detector) ampsGoertzel(buf *audio.Buffer) []float64 {
 	if d.gplan == nil || d.gplan.SampleRate != buf.SampleRate {
 		d.gplan = dsp.NewGoertzelPlan(d.watch, buf.SampleRate)
 	}
@@ -165,47 +213,64 @@ func (d *Detector) detectGoertzel(buf *audio.Buffer, windowStart float64) []Dete
 	for i := range d.amps {
 		d.amps[i] *= scale
 	}
-	return d.filter(d.amps, windowStart)
+	return d.amps
 }
 
 // filter applies the absolute and relative thresholds to per-watch
-// amplitude estimates.
+// amplitude estimates. The caller holds d.mu.
 func (d *Detector) filter(amps []float64, windowStart float64) []Detection {
+	d.out = filterDetections(d.out[:0], amps, d.watch, d.MinAmplitude, d.RelativeFloor, windowStart)
+	if len(d.out) == 0 {
+		return nil
+	}
+	return d.out
+}
+
+// filterDetections appends the amplitudes that clear both the absolute
+// floor and the relative floor (a fraction of the loudest watched
+// frequency in the window) to out as detections. It is shared by the
+// batch detector and the streaming per-window filter so the two apply
+// identical float operations — the bit-exactness contract at
+// hop == window.
+func filterDetections(out []Detection, amps, watch []float64, minAmp, relFloor, windowStart float64) []Detection {
 	maxAmp := 0.0
 	for _, a := range amps {
 		if a > maxAmp {
 			maxAmp = a
 		}
 	}
-	floor := d.MinAmplitude
-	if rel := d.RelativeFloor * maxAmp; rel > floor {
+	floor := minAmp
+	if rel := relFloor * maxAmp; rel > floor {
 		floor = rel
 	}
-	out := d.out[:0]
 	for i, a := range amps {
 		if a >= floor {
-			out = append(out, Detection{Time: windowStart, Frequency: d.watch[i], Amplitude: a})
+			out = append(out, Detection{Time: windowStart, Frequency: watch[i], Amplitude: a})
 		}
-	}
-	d.out = out
-	if len(out) == 0 {
-		return nil
 	}
 	return out
 }
 
-func (d *Detector) detectFFT(buf *audio.Buffer, windowStart float64) []Detection {
+func (d *Detector) ampsFFT(buf *audio.Buffer) []float64 {
 	n := buf.Len()
 	fftSize := dsp.NextPowerOfTwo(n)
 	plan := dsp.PlanFFT(fftSize)
 	d.mags = plan.WindowedSpectrumScratch(d.mags, buf.Samples, dsp.Hann, &d.fftScr)
-	mags := d.mags
-	gain := dsp.Hann.Gain(n)
 	d.amps = growFloats(d.amps, len(d.watch))
-	amps := d.amps
-	span := int(math.Ceil(d.ToleranceHz / dsp.BinResolution(fftSize, buf.SampleRate)))
-	for i, f := range d.watch {
-		center := dsp.FrequencyBin(f, fftSize, buf.SampleRate)
+	fftAmplitudes(d.amps, d.mags, d.watch, n, fftSize, buf.SampleRate, d.ToleranceHz)
+	return d.amps
+}
+
+// fftAmplitudes converts half-spectrum magnitudes into per-watch
+// amplitude estimates: the peak bin within tolHz of each watched
+// frequency, rescaled by the window's coherent gain. It is shared by
+// the batch FFT path and the streaming overlap-save STFT path, which
+// is what makes the two bit-exact over the same spectrum.
+func fftAmplitudes(amps, mags, watch []float64, n, fftSize int, sampleRate, tolHz float64) {
+	gain := dsp.Hann.Gain(n)
+	span := int(math.Ceil(tolHz / dsp.BinResolution(fftSize, sampleRate)))
+	for i, f := range watch {
+		center := dsp.FrequencyBin(f, fftSize, sampleRate)
 		best := 0.0
 		for k := center - span; k <= center+span; k++ {
 			if k >= 0 && k < len(mags) && mags[k] > best {
@@ -216,7 +281,6 @@ func (d *Detector) detectFFT(buf *audio.Buffer, windowStart float64) []Detection
 		// sinusoid is A*n*gain/2 (window coherent gain).
 		amps[i] = 2 * best / (float64(n) * gain)
 	}
-	return d.filter(amps, windowStart)
 }
 
 func growFloats(s []float64, n int) []float64 {

@@ -51,10 +51,30 @@ type Fleet struct {
 	started bool
 	closed  bool
 
+	// cloneRev is the template watch-list revision the worker clones
+	// were built from. Analyse snapshots the revision at fan-out and
+	// re-checks it at merge: if another goroutine added a watch
+	// frequency mid-window, the clones analysed a stale list, so the
+	// window is re-run (bounded by staleRetries) rather than silently
+	// published with the old watch set.
+	cloneRev uint64
+
+	// StaleWindows counts window analyses discarded and retried because
+	// the watch list changed between fan-out and merge.
+	StaleWindows uint64
+
 	busy   *telemetry.Gauge
 	window *telemetry.Histogram
+	stale  *telemetry.Counter
 	wall   telemetry.TimeSource
 }
+
+// staleRetries bounds how many times one window re-runs after a
+// mid-window watch-list edit. Edits are rare (human or control-plane
+// scale, versus the 20 Hz window loop), so in practice one retry
+// settles it; the bound only prevents a pathological editor looping
+// the analysis forever.
+const staleRetries = 3
 
 // NewFleet builds a fleet cloning template for each of workers pool
 // slots (workers <= 0 means GOMAXPROCS). The template stays live:
@@ -89,6 +109,7 @@ func (f *Fleet) Microphones() int { return len(f.mics) }
 func (f *Fleet) Instrument(reg *telemetry.Registry) {
 	f.busy = reg.Gauge(metricFleetBusy)
 	f.window = reg.Histogram(metricFleetWindow, telemetry.DefaultLatencyBuckets)
+	f.stale = reg.Counter(metricFleetStale)
 	f.wall = telemetry.Wall()
 }
 
@@ -102,30 +123,44 @@ func (f *Fleet) Analyse(from, to float64) []Detection {
 		return nil
 	}
 	sp := telemetry.StartSpan(f.window, f.wall)
-	f.syncClones()
-	f.reserve()
-	f.from, f.to = from, to
-	if f.workers == 1 || len(f.mics) == 1 {
-		// Serial reference path: same per-microphone work, same merge.
-		for i := range f.mics {
-			f.analyseMic(0, i)
-		}
-	} else {
-		f.start()
-		shards := f.shards()
-		f.wg.Add(shards)
-		m := len(f.mics)
-		base, ext := m/shards, m%shards
-		lo := 0
-		for s := 0; s < shards; s++ {
-			hi := lo + base
-			if s < ext {
-				hi++
+	for attempt := 0; ; attempt++ {
+		// Snapshot the watch revision the whole window will run under.
+		// Watch edits are serialized through the template's mutex, so a
+		// stable revision across fan-out and merge proves every clone
+		// analysed the same list the merge publishes.
+		rev := f.template.WatchRev()
+		f.syncClones(rev)
+		f.reserve()
+		f.from, f.to = from, to
+		if f.workers == 1 || len(f.mics) == 1 {
+			// Serial reference path: same per-microphone work, same merge.
+			for i := range f.mics {
+				f.analyseMic(0, i)
 			}
-			f.tasks <- micShard{lo, hi}
-			lo = hi
+		} else {
+			f.start()
+			shards := f.shards()
+			f.wg.Add(shards)
+			m := len(f.mics)
+			base, ext := m/shards, m%shards
+			lo := 0
+			for s := 0; s < shards; s++ {
+				hi := lo + base
+				if s < ext {
+					hi++
+				}
+				f.tasks <- micShard{lo, hi}
+				lo = hi
+			}
+			f.wg.Wait()
 		}
-		f.wg.Wait()
+		if f.template.WatchRev() == rev || attempt >= staleRetries {
+			break
+		}
+		// The watch list moved under the window: per-microphone slots
+		// may mix old- and new-list results. Count it and re-run.
+		f.StaleWindows++
+		f.stale.Inc()
 	}
 	f.merged = f.merged[:0]
 	for i := range f.out {
@@ -152,11 +187,12 @@ func (f *Fleet) Close() {
 
 // syncClones brings the per-worker detectors in line with the live
 // template: scalar thresholds are copied every window (they are four
-// assignments), the watch list only when its revision moved.
-func (f *Fleet) syncClones() {
-	stale := len(f.dets) != f.workers ||
-		f.dets[0].watchRev != f.template.watchRev
+// assignments), the watch list only when its revision moved. rev is
+// the template revision snapshot the caller runs the window under.
+func (f *Fleet) syncClones(rev uint64) {
+	stale := len(f.dets) != f.workers || f.cloneRev != rev
 	if stale {
+		f.cloneRev = rev
 		f.dets = f.dets[:0]
 		for w := 0; w < f.workers; w++ {
 			f.dets = append(f.dets, f.template.Clone())
@@ -181,7 +217,7 @@ func (f *Fleet) syncClones() {
 // amplitudes across the threshold — never triggers a mid-flight
 // growslice, keeping the steady state allocation-free.
 func (f *Fleet) reserve() {
-	per := len(f.template.watch)
+	per := f.template.WatchLen()
 	bound := per * len(f.mics)
 	if cap(f.merged) < bound {
 		f.merged = make([]Detection, 0, bound)

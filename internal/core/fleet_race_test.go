@@ -51,6 +51,60 @@ func TestFleetRaceConcurrentClonesOverSharedRoom(t *testing.T) {
 	wg.Wait()
 }
 
+// TestFleetRaceWatchEditMidWindow hammers AddWatch on the fleet's
+// template detector while windows are analysed — the clone-staleness
+// race this PR fixes: Fleet.Analyse snapshots the watch revision at
+// fan-out and re-syncs + retries when an edit lands mid-window, so a
+// merged batch never mixes clones holding different watch lists.
+func TestFleetRaceWatchEditMidWindow(t *testing.T) {
+	room, mics, det := fleetRoom(8)
+	f := NewFleet(det, 4)
+	defer f.Close()
+	for _, m := range mics {
+		f.AddMicrophone(m)
+	}
+	// A tone on a frequency only the concurrent edits watch, playing
+	// throughout, so post-edit windows can prove the additions took.
+	const added = 4000.0
+	sp := room.AddSpeaker("late", acoustic.Position{X: 2})
+	sp.Play(0.010, audio.Tone{Frequency: added, Duration: 10,
+		Amplitude: acoustic.SPLToAmplitude(60)})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			det.AddWatch(added + float64(i+1)*7)
+		}
+		det.AddWatch(added)
+	}()
+	for w := 0; w < 60; w++ {
+		from := 0.1 + float64(w)*0.050
+		dets := f.Analyse(from, from+0.050)
+		// Whatever revision each window ran at, the batch must be
+		// internally consistent: sorted and within one snapshot's size.
+		for i := 1; i < len(dets); i++ {
+			a, b := dets[i-1], dets[i]
+			if a.Time > b.Time || (a.Time == b.Time && a.Frequency > b.Frequency) {
+				t.Fatalf("window %d: merged batch out of order at %d: %+v, %+v", w, i, a, b)
+			}
+		}
+	}
+	wg.Wait()
+	// Edits have settled; one more window must hear the added tone.
+	dets := f.Analyse(3.2, 3.25)
+	heard := false
+	for _, d := range dets {
+		if d.Frequency == added {
+			heard = true
+		}
+	}
+	if !heard {
+		t.Errorf("post-edit window missed the added %g Hz tone: %+v", added, dets)
+	}
+}
+
 func TestFleetRaceTwoFleetsShareOneRoom(t *testing.T) {
 	// Two independent fleets (two controllers listening to the same
 	// hall) may analyse the same room at the same time: all capture

@@ -90,6 +90,24 @@ func (m *Manager) Start(at float64) {
 		return
 	}
 	m.started = true
+	m.wireApps(at)
+	m.Ctrl.Start(at)
+}
+
+// StartStream wires interval apps and begins streaming analysis at
+// time at with the given hop (see Controller.StartStream). Deployed
+// applications run unchanged: they receive one window batch per hop
+// through the same subscriptions Start would give them.
+func (m *Manager) StartStream(at, hop float64) *StreamController {
+	if m.started {
+		return m.Ctrl.Stream()
+	}
+	m.started = true
+	m.wireApps(at)
+	return m.Ctrl.StartStream(at, hop)
+}
+
+func (m *Manager) wireApps(at float64) {
 	for _, app := range m.apps {
 		if ia, ok := app.(IntervalApp); ok {
 			ia.Start(m.Ctrl, at)
@@ -97,7 +115,6 @@ func (m *Manager) Start(at float64) {
 			m.Ctrl.SubscribeWindowsNamed(fmt.Sprintf("%T", app), app.HandleWindow)
 		}
 	}
-	m.Ctrl.Start(at)
 }
 
 // Stop halts polling.

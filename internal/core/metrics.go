@@ -113,11 +113,30 @@ func (c *Controller) instrumentWire(w wireRef) {
 //
 // Fleet metric names:
 //
-//	mdn_fleet_workers_busy    workers currently capturing/analysing
-//	mdn_fleet_window_seconds  per-window fan-out wall time (all mics)
+//	mdn_fleet_workers_busy        workers currently capturing/analysing
+//	mdn_fleet_window_seconds      per-window fan-out wall time (all mics)
+//	mdn_fleet_stale_windows_total windows re-run after a mid-window watch edit
 const (
 	metricFleetBusy   = "mdn_fleet_workers_busy"
 	metricFleetWindow = "mdn_fleet_window_seconds"
+	metricFleetStale  = "mdn_fleet_stale_windows_total"
+)
+
+// Streaming-path metric names (see StreamController.Instrument).
+// Histograms use telemetry.StreamLatencyBuckets — log-spaced from 1 µs
+// so sub-millisecond hop latencies resolve distinct p50/p99.
+//
+//	mdn_stream_hops_total              processed hop steps
+//	mdn_stream_onsets_total            deduplicated tone onsets
+//	mdn_stream_capture_errors_total    hops lost to the compaction horizon
+//	mdn_stream_detect_latency_seconds  sound arrival → detection (sim time)
+//	mdn_stream_hop_seconds             per-hop pipeline wall time
+const (
+	metricStreamHops          = "mdn_stream_hops_total"
+	metricStreamOnsets        = "mdn_stream_onsets_total"
+	metricStreamCaptureErrors = "mdn_stream_capture_errors_total"
+	metricStreamDetectLatency = "mdn_stream_detect_latency_seconds"
+	metricStreamHopWall       = "mdn_stream_hop_seconds"
 )
 
 const (

@@ -50,9 +50,28 @@ type SubscriberStatus struct {
 	QuarantinedAt float64
 }
 
+// subCall is one pending subscriber callback, passed by value so the
+// dispatch loop builds no closures — the per-window hot path must not
+// allocate. win selects the window-batch handler; otherwise the
+// per-detection handler runs.
+type subCall struct {
+	win  bool
+	from float64
+	dets []Detection
+	det  Detection
+}
+
+func (call *subCall) run(s *subscriber) {
+	if call.win {
+		s.onWin(call.from, call.dets)
+	} else {
+		s.onDet(call.det)
+	}
+}
+
 // invoke runs one subscriber callback under the supervision barrier.
 // It must be called on the simulation goroutine.
-func (c *Controller) invoke(s *subscriber, call func()) {
+func (c *Controller) invoke(s *subscriber, call subCall) {
 	if s.quarantined {
 		return
 	}
@@ -82,25 +101,37 @@ func (c *Controller) invoke(s *subscriber, call func()) {
 		s.consecutive = 0
 	}()
 	if c.ProfileSubscribers {
-		telemetry.Do("mdn_subscriber", s.name, call)
+		// The profiling path allocates (one closure per call) — it is
+		// an opt-in diagnostic, not a steady-state setting.
+		telemetry.Do("mdn_subscriber", s.name, func() { call.run(s) })
 	} else {
-		call()
+		call.run(s)
 	}
 }
 
-// snapshotSubs copies the subscriber list under the registration lock
-// so dispatch never races a concurrent Subscribe.
+// snapshotSubs returns the subscriber list as seen under the
+// registration lock. The snapshot is cached and rebuilt only when the
+// list has changed since the last call (a generation counter tracks
+// registrations), so the per-window dispatch path allocates nothing in
+// steady state. Each rebuild allocates a fresh backing array — an
+// earlier snapshot may still be mid-iteration on another goroutine, so
+// the cache is never rebuilt in place.
 func (c *Controller) snapshotSubs() []*subscriber {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]*subscriber, len(c.subs))
-	copy(out, c.subs)
-	return out
+	if c.snapGen != c.subsGen {
+		snap := make([]*subscriber, len(c.subs))
+		copy(snap, c.subs)
+		c.snap = snap
+		c.snapGen = c.subsGen
+	}
+	return c.snap
 }
 
 func (c *Controller) addSubscriber(s *subscriber) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.subsGen++
 	if s.name == "" {
 		c.autoName++
 		kind := "handler"

@@ -1,0 +1,90 @@
+package parallel
+
+import "sync/atomic"
+
+// SPSC is a bounded lock-free single-producer single-consumer queue:
+// one goroutine may call TryPush, one (possibly different) goroutine
+// may call TryPop, with no locks and no allocation after construction.
+// It is the stage coupling of the streaming detection pipeline —
+// capture pushes hop frames, the transform stage pops them — sized so
+// the stages can also run on one goroutine (push then immediately
+// pop), which is how the deterministic simulation drives them.
+//
+// The implementation is the classic ring with monotonically increasing
+// head (pop) and tail (push) cursors. The producer owns tail and reads
+// head with acquire semantics; the consumer owns head and reads tail.
+// Slots are published by the tail store, which happens after the
+// element write — atomic.Uint64 store/load give the needed
+// release/acquire ordering under the Go memory model.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+	// head and tail are free-running; index = cursor & mask.
+	head atomic.Uint64 // next slot to pop (owned by consumer)
+	tail atomic.Uint64 // next slot to push (owned by producer)
+}
+
+// NewSPSC builds a queue holding up to capacity elements. Capacity is
+// rounded up to a power of two; it must be positive.
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	if capacity <= 0 {
+		panic("parallel: SPSC capacity must be positive")
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the queue capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// Len returns the number of queued elements. It is exact when called
+// from either the producer or the consumer goroutine, and a point-in-
+// time estimate from anywhere else.
+func (q *SPSC[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// TryPush enqueues v and reports success; it fails (without blocking)
+// when the queue is full. Producer goroutine only.
+func (q *SPSC[T]) TryPush(v T) bool {
+	tail := q.tail.Load()
+	if tail-q.head.Load() == uint64(len(q.buf)) {
+		return false
+	}
+	q.buf[tail&q.mask] = v
+	q.tail.Store(tail + 1) // publishes the element write
+	return true
+}
+
+// TryPop dequeues the oldest element and reports success; it fails
+// (without blocking) when the queue is empty. Consumer goroutine only.
+func (q *SPSC[T]) TryPop() (T, bool) {
+	var zero T
+	head := q.head.Load()
+	if head == q.tail.Load() {
+		return zero, false
+	}
+	v := q.buf[head&q.mask]
+	// Clear the slot so queued pointers do not pin their referents
+	// past their dequeue.
+	q.buf[head&q.mask] = zero
+	q.head.Store(head + 1)
+	return v, true
+}
+
+// Drain pops every queued element into fn, in order, and returns how
+// many were consumed. Consumer goroutine only.
+func (q *SPSC[T]) Drain(fn func(T)) int {
+	n := 0
+	for {
+		v, ok := q.TryPop()
+		if !ok {
+			return n
+		}
+		fn(v)
+		n++
+	}
+}

@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestSPSCCapacityRoundsToPowerOfTwo(t *testing.T) {
+	for _, c := range []struct{ ask, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {100, 128},
+	} {
+		if got := NewSPSC[int](c.ask).Cap(); got != c.want {
+			t.Errorf("NewSPSC(%d).Cap() = %d, want %d", c.ask, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive capacity did not panic")
+		}
+	}()
+	NewSPSC[int](0)
+}
+
+func TestSPSCOrderFullEmpty(t *testing.T) {
+	q := NewSPSC[int](4)
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("push %d failed below capacity", i)
+		}
+	}
+	if q.TryPush(99) {
+		t.Fatal("push into full queue succeeded")
+	}
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v, want %d,true (FIFO)", v, ok, i)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop from drained queue succeeded")
+	}
+}
+
+func TestSPSCDrain(t *testing.T) {
+	q := NewSPSC[int](8)
+	for i := 0; i < 5; i++ {
+		q.TryPush(i)
+	}
+	var got []int
+	if n := q.Drain(func(v int) { got = append(got, v) }); n != 5 {
+		t.Fatalf("Drain = %d, want 5", n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("drained[%d] = %d, want %d", i, v, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatal("Drain left elements queued")
+	}
+}
+
+// TestSPSCRaceProducerConsumer exercises the queue's cross-goroutine
+// publication contract under -race: the producer's element write must
+// happen-before the consumer's read of the same slot. Values are
+// pointers so the race detector sees the payload access, not just the
+// cursors, and the consumer asserts FIFO order end to end.
+func TestSPSCRaceProducerConsumer(t *testing.T) {
+	const n = 20000
+	q := NewSPSC[*int](8)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			v := new(int)
+			*v = i
+			for !q.TryPush(v) {
+				runtime.Gosched()
+			}
+		}
+	}()
+	for i := 0; i < n; {
+		v, ok := q.TryPop()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if *v != i {
+			t.Fatalf("popped %d, want %d (order broken)", *v, i)
+		}
+		i++
+	}
+	wg.Wait()
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after drain: %d", q.Len())
+	}
+}
+
+func TestSPSCPushPopAllocs(t *testing.T) {
+	q := NewSPSC[[2]float64](4)
+	if got := testing.AllocsPerRun(1000, func() {
+		q.TryPush([2]float64{1, 2})
+		q.TryPop()
+	}); got != 0 {
+		t.Errorf("push+pop allocates %g/op, want 0", got)
+	}
+}

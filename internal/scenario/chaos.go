@@ -48,6 +48,12 @@ type ChaosConfig struct {
 	DurationS float64 `json:"duration_s,omitempty"`
 	// Scenarios selects pipelines (default all of ChaosScenarioNames).
 	Scenarios []string `json:"scenarios,omitempty"`
+	// StreamHop, when positive, runs every pipeline on the streaming
+	// detection path with this hop in seconds (see
+	// core.Controller.StartStream) instead of the batch window loop.
+	// StreamHop == 0.05 (the full window) is the equivalence setting:
+	// it reproduces the batch report byte-identically.
+	StreamHop float64 `json:"stream_hop,omitempty"`
 	// Workers bounds the sweep's worker pool. Points are independent —
 	// each builds its own simulation, room, and controller, and derives
 	// its fault stream from Seed and its grid position, not from
@@ -141,6 +147,11 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 			return nil, fmt.Errorf("scenario: chaos drop rate %g outside [0, 1]", rate)
 		}
 	}
+	if cfg.StreamHop > 0 {
+		if err := core.CheckStreamHop(core.DefaultWindow, 44100, cfg.StreamHop); err != nil {
+			return nil, fmt.Errorf("scenario: stream_hop: %w", err)
+		}
+	}
 	type gridCell struct{ si, ri int }
 	cells := make([]gridCell, 0, len(names)*len(drops))
 	for si := range names {
@@ -167,7 +178,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 			// correlated across sequential seeds.
 			Seed: mixSeed(cfg.Seed*10000 + int64(c.si)*100 + int64(c.ri)),
 		}
-		pt := runs[c.si](reg, faults, dur)
+		pt := runs[c.si](reg, faults, dur, cfg.StreamHop)
 		pt.Scenario = names[c.si]
 		pt.DropRate = drops[c.ri]
 		if pt.GroundTruth > 0 {
@@ -206,8 +217,9 @@ func mixSeed(s int64) int64 {
 }
 
 // chaosRun measures one pipeline under one fault setting, recording
-// its telemetry into the sweep's shared registry.
-type chaosRun func(reg *telemetry.Registry, faults netsim.Faults, dur float64) ChaosPoint
+// its telemetry into the sweep's shared registry. streamHop > 0 runs
+// the pipeline on the streaming detection path with that hop.
+type chaosRun func(reg *telemetry.Registry, faults netsim.Faults, dur, streamHop float64) ChaosPoint
 
 var chaosScenarios = map[string]chaosRun{
 	"portknock":   chaosPortKnock,
@@ -219,15 +231,16 @@ var chaosScenarios = map[string]chaosRun{
 // chaosEnv is the one-switch testbed every chaos pipeline shares: a
 // room, a controller, and a faulty acoustic control hop.
 type chaosEnv struct {
-	sim   *netsim.Sim
-	sw    *netsim.Switch
-	voice *core.Voice
-	ctrl  *core.Controller
-	plan  *core.FrequencyPlan
-	reg   *telemetry.Registry
+	sim       *netsim.Sim
+	sw        *netsim.Switch
+	voice     *core.Voice
+	ctrl      *core.Controller
+	plan      *core.FrequencyPlan
+	reg       *telemetry.Registry
+	streamHop float64
 }
 
-func newChaosEnv(reg *telemetry.Registry, faults netsim.Faults) *chaosEnv {
+func newChaosEnv(reg *telemetry.Registry, faults netsim.Faults, streamHop float64) *chaosEnv {
 	sim := netsim.NewSim()
 	room := acoustic.NewRoom(44100, faults.Seed)
 	// Same acoustic-plane defaults as the scenario runner: cull at the
@@ -248,7 +261,20 @@ func newChaosEnv(reg *telemetry.Registry, faults netsim.Faults) *chaosEnv {
 	room.Instrument(reg)
 	ctrl.RegisterVoice("s1", voice)
 	voice.Instrument(reg, "s1")
-	return &chaosEnv{sim: sim, sw: sw, voice: voice, ctrl: ctrl, plan: core.DefaultPlan(), reg: reg}
+	return &chaosEnv{sim: sim, sw: sw, voice: voice, ctrl: ctrl,
+		plan: core.DefaultPlan(), reg: reg, streamHop: streamHop}
+}
+
+// start begins detection on the configured path. Both branches make
+// exactly one ticker registration at the same call position, so at
+// streamHop == Window the event schedule — and therefore the whole
+// report — is byte-identical to the batch run.
+func (e *chaosEnv) start() {
+	if e.streamHop > 0 {
+		e.ctrl.StartStream(0, e.streamHop)
+	} else {
+		e.ctrl.Start(0)
+	}
 }
 
 // addCanary registers a subscriber that panics on its first two
@@ -306,8 +332,8 @@ func flowCounters(p *openflow.Programmer, pt *ChaosPoint) {
 // acoustic pipeline; truth is the number of rounds offered, detection
 // is the FSM's accept count, and the accepted sequence installs the
 // open rule through the retrying programmer.
-func chaosPortKnock(reg *telemetry.Registry, faults netsim.Faults, dur float64) ChaosPoint {
-	e := newChaosEnv(reg, faults)
+func chaosPortKnock(reg *telemetry.Registry, faults netsim.Faults, dur, streamHop float64) ChaosPoint {
+	e := newChaosEnv(reg, faults, streamHop)
 	ch := e.channel(faults)
 	seq := []uint16{7001, 7002, 7003}
 	rule := openflow.FlowMod{Command: openflow.FlowAdd, Priority: 10, Action: netsim.Drop()}
@@ -320,7 +346,7 @@ func chaosPortKnock(reg *telemetry.Registry, faults netsim.Faults, dur float64) 
 	e.ctrl.Detector.AddWatch(pk.Frequencies()...)
 	e.ctrl.SubscribeWindowsNamed("portknock", pk.HandleWindow)
 	e.addCanary()
-	e.ctrl.Start(0)
+	e.start()
 
 	// One knock round per second: three knocks 0.3 s apart. Even a
 	// 10 s point pushes enough messages through the wire for the
@@ -348,8 +374,8 @@ func chaosPortKnock(reg *telemetry.Registry, faults netsim.Faults, dur float64) 
 // chaosHeavyHitter pushes one hot flow through the switch tap; truth
 // is the number of complete traffic intervals, detection the intervals
 // the hot bucket was flagged in.
-func chaosHeavyHitter(reg *telemetry.Registry, faults netsim.Faults, dur float64) ChaosPoint {
-	e := newChaosEnv(reg, faults)
+func chaosHeavyHitter(reg *telemetry.Registry, faults netsim.Faults, dur, streamHop float64) ChaosPoint {
+	e := newChaosEnv(reg, faults, streamHop)
 	hh, err := core.NewHeavyHitter(e.plan, "s1", e.voice, 4)
 	if err != nil {
 		return ChaosPoint{Notes: "setup failed: " + err.Error()}
@@ -361,7 +387,7 @@ func chaosHeavyHitter(reg *telemetry.Registry, faults netsim.Faults, dur float64
 	e.ctrl.Detector.AddWatch(hh.Frequencies()...)
 	e.addCanary()
 	hh.Start(e.ctrl, 0) // subscribes HandleWindow and starts intervals
-	e.ctrl.Start(0)
+	e.start()
 
 	flow := netsim.FiveTuple{
 		Src: netsim.MustAddr("10.0.0.1"), Dst: netsim.MustAddr("10.0.0.2"),
@@ -391,8 +417,8 @@ func chaosHeavyHitter(reg *telemetry.Registry, faults netsim.Faults, dur float64
 // schedule; truth is tones offered, detection the confirmed high-level
 // onsets the controller heard, and the first one must drive the split
 // rule through the retrying programmer.
-func chaosLoadBalance(reg *telemetry.Registry, faults netsim.Faults, dur float64) ChaosPoint {
-	e := newChaosEnv(reg, faults)
+func chaosLoadBalance(reg *telemetry.Registry, faults netsim.Faults, dur, streamHop float64) ChaosPoint {
+	e := newChaosEnv(reg, faults, streamHop)
 	ch := e.channel(faults)
 	qm := core.NewQueueMonitorWithTones(e.sw, 2, e.voice, core.DefaultQueueFrequencies)
 	qm.Instrument(e.reg, "s1")
@@ -404,7 +430,7 @@ func chaosLoadBalance(reg *telemetry.Registry, faults netsim.Faults, dur float64
 	e.ctrl.SubscribeWindowsNamed("queuemon", qm.HandleWindow)
 	e.ctrl.SubscribeWindowsNamed("loadbalance", lb.HandleWindow)
 	e.addCanary()
-	e.ctrl.Start(0)
+	e.start()
 
 	high := qm.Frequencies()[2]
 	truth := 0
@@ -432,8 +458,8 @@ func chaosLoadBalance(reg *telemetry.Registry, faults netsim.Faults, dur float64
 // wire-sample floor), kills it at 60% of the run, and measures heard
 // beats against played ones; the monitor must still raise its death
 // alert.
-func chaosHeartbeat(reg *telemetry.Registry, faults netsim.Faults, dur float64) ChaosPoint {
-	e := newChaosEnv(reg, faults)
+func chaosHeartbeat(reg *telemetry.Registry, faults netsim.Faults, dur, streamHop float64) ChaosPoint {
+	e := newChaosEnv(reg, faults, streamHop)
 	hb := core.NewHeartbeat()
 	hb.Instrument(e.reg, "s1")
 	hb.Period = 0.3
@@ -444,7 +470,7 @@ func chaosHeartbeat(reg *telemetry.Registry, faults netsim.Faults, dur float64) 
 	e.ctrl.Detector.AddWatch(hb.Frequencies()...)
 	e.addCanary()
 	hb.Start(e.ctrl, 0)
-	e.ctrl.Start(0)
+	e.start()
 	ticker, err := hb.StartDevice(e.sim, f, 0.1)
 	if err != nil {
 		return ChaosPoint{Notes: "setup failed: " + err.Error()}

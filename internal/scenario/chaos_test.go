@@ -93,6 +93,46 @@ func TestChaosParallelSweepByteIdenticalToSerial(t *testing.T) {
 	}
 }
 
+// TestChaosStreamAtFullWindowByteIdenticalToBatch runs the chaos sweep
+// on the batch path and on the streaming path with the hop set to the
+// full 50 ms window. The JSON reports must be byte-identical: at
+// hop == window the streaming pipeline makes the same capture spans,
+// the same float operations, and the same dispatches as the batch
+// loop, so every recall figure, health verdict, and wire counter
+// agrees — the equivalence half of the CI streaming smoke.
+func TestChaosStreamAtFullWindowByteIdenticalToBatch(t *testing.T) {
+	cfg := ChaosConfig{Seed: 7, DropRates: []float64{0, 0.3}, DurationS: 8}
+	batch, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.StreamHop = 0.050
+	streamed, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := json.Marshal(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bj) != string(sj) {
+		t.Errorf("streaming at hop==window diverged from batch:\n%s\nvs\n%s",
+			streamed.Table(), batch.Table())
+	}
+}
+
+func TestChaosRejectsMisalignedStreamHop(t *testing.T) {
+	cfg := chaosTestConfig()
+	cfg.StreamHop = 0.012
+	if _, err := RunChaos(cfg); err == nil {
+		t.Fatal("misaligned stream hop accepted")
+	}
+}
+
 // BenchmarkChaosSweep measures the sweep wall clock serial versus
 // pooled — the speedup evidence for BENCH_PR5.json. On a single-core
 // host the pooled rows pin scheduling overhead instead of scaling.

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+
+	"mdn/internal/core"
 )
 
 // Config is the root of a scenario description.
@@ -45,7 +47,23 @@ type Config struct {
 	// every switch's MP control hop (the switch→Pi sounder path). The
 	// fault stream derives from Seed, so faulty runs replay exactly.
 	Faults *FaultsConfig `json:"faults,omitempty"`
+	// Stream switches the controller to the streaming low-latency
+	// detection path: the analysis window advances by HopS per step
+	// instead of a whole window, so tones are detected within one hop
+	// of onset. Applications behave identically (they see one window
+	// batch per hop); the report gains a Stream section with the
+	// sound-to-detection latency percentiles.
+	Stream bool `json:"stream,omitempty"`
+	// HopS is the streaming hop in seconds (only with Stream). It must
+	// divide the 50 ms analysis window into an integer number of
+	// integer samples at 44.1 kHz; 0 means DefaultHopS.
+	HopS float64 `json:"hop_s,omitempty"`
 }
+
+// DefaultHopS is the default streaming hop: 10 ms, one fifth of the
+// controller's 50 ms window (the largest even subdivision that is also
+// a whole number of samples at 44.1 kHz — 441 per hop).
+const DefaultHopS = 0.010
 
 // FaultsConfig describes the injected wire faults of a chaos run.
 type FaultsConfig struct {
@@ -171,6 +189,18 @@ func (c *Config) Validate() error {
 	}
 	if c.MinAmplitude < 0 {
 		return fmt.Errorf("scenario: min_amplitude must be non-negative")
+	}
+	if c.HopS < 0 {
+		return fmt.Errorf("scenario: hop_s must be non-negative")
+	}
+	if c.HopS > 0 && !c.Stream {
+		return fmt.Errorf("scenario: hop_s requires stream")
+	}
+	if c.HopS > 0 {
+		// The runner deploys a 50 ms window at 44.1 kHz.
+		if err := core.CheckStreamHop(core.DefaultWindow, 44100, c.HopS); err != nil {
+			return fmt.Errorf("scenario: hop_s: %w", err)
+		}
 	}
 	if len(c.Switches) == 0 {
 		return fmt.Errorf("scenario: at least one switch required")

@@ -34,6 +34,22 @@ type Report struct {
 	// wall-clock histograms (decode and dispatch time) are not, so the
 	// field sits next to Health rather than inside it.
 	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
+	// Stream summarises the streaming detection path (set only when
+	// Config.Stream).
+	Stream *StreamReport `json:"stream,omitempty"`
+}
+
+// StreamReport is the streaming path's run summary: hop counts and the
+// sim-time sound-to-detection latency percentiles (seconds from a
+// tone's arrival at the microphone to the close of the hop that first
+// detected it — the quantity the streaming path exists to shrink).
+type StreamReport struct {
+	HopS          float64 `json:"hop_s"`
+	Hops          uint64  `json:"hops"`
+	Onsets        uint64  `json:"onsets"`
+	CaptureErrors uint64  `json:"capture_errors"`
+	DetectP50     float64 `json:"detect_p50_s"`
+	DetectP99     float64 `json:"detect_p99_s"`
 }
 
 // HostReport is one host's counters.
@@ -252,7 +268,16 @@ func Run(c *Config) (*Report, error) {
 	if c.MinAmplitude > 0 {
 		mgr.Ctrl.Detector.MinAmplitude = c.MinAmplitude
 	}
-	mgr.Start(0)
+	var stream *core.StreamController
+	if c.Stream {
+		hop := c.HopS
+		if hop == 0 {
+			hop = DefaultHopS
+		}
+		stream = mgr.StartStream(0, hop)
+	} else {
+		mgr.Start(0)
+	}
 
 	// Traffic.
 	for _, tc := range c.Traffic {
@@ -358,5 +383,15 @@ func Run(c *Config) (*Report, error) {
 	rep.Health = &health
 	snap := reg.Snapshot()
 	rep.Metrics = &snap
+	if stream != nil {
+		rep.Stream = &StreamReport{
+			HopS:          stream.Hop(),
+			Hops:          stream.Hops,
+			Onsets:        stream.Onsets,
+			CaptureErrors: stream.CaptureErrors,
+			DetectP50:     stream.DetectLatency().Quantile(0.5),
+			DetectP99:     stream.DetectLatency().Quantile(0.99),
+		}
+	}
 	return rep, nil
 }

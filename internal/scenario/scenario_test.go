@@ -250,6 +250,112 @@ func TestDDoSScenarioAlertsOnlyDuringFlood(t *testing.T) {
 	}
 }
 
+// TestStreamScenarioEquivalentToBatchAtFullWindow runs the demo
+// scenario on both detection paths with the streaming hop set to the
+// full window: every observable — window count, tone count, every
+// application's event log, host traffic — must be identical, because at
+// hop == window the streaming pipeline is bit-exact with the batch
+// loop. This is the CI equivalence smoke in miniature.
+func TestStreamScenarioEquivalentToBatchAtFullWindow(t *testing.T) {
+	run := func(stream bool) *Report {
+		cfg, err := Load(strings.NewReader(demoScenario))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stream {
+			cfg.Stream = true
+			cfg.HopS = 0.050
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	batch, streamed := run(false), run(true)
+	if streamed.Stream == nil {
+		t.Fatal("stream run carries no stream report")
+	}
+	if streamed.WindowsAnalysed != batch.WindowsAnalysed {
+		t.Errorf("windows: stream %d != batch %d", streamed.WindowsAnalysed, batch.WindowsAnalysed)
+	}
+	if streamed.TonesDetected != batch.TonesDetected {
+		t.Errorf("tones: stream %d != batch %d", streamed.TonesDetected, batch.TonesDetected)
+	}
+	if len(streamed.Apps) != len(batch.Apps) {
+		t.Fatalf("app report counts differ: %d vs %d", len(streamed.Apps), len(batch.Apps))
+	}
+	for i := range batch.Apps {
+		b, s := batch.Apps[i], streamed.Apps[i]
+		if b.Type != s.Type || strings.Join(b.Events, "|") != strings.Join(s.Events, "|") {
+			t.Errorf("app %s events diverged:\nstream: %v\nbatch:  %v", b.Type, s.Events, b.Events)
+		}
+	}
+	for i := range batch.Hosts {
+		if batch.Hosts[i] != streamed.Hosts[i] {
+			t.Errorf("host %s traffic diverged: %+v vs %+v",
+				batch.Hosts[i].Name, streamed.Hosts[i], batch.Hosts[i])
+		}
+	}
+}
+
+// TestStreamScenarioReportsLatency runs the demo scenario on the
+// streaming path at the default 10 ms hop and checks the published
+// latency budget: the pipeline hops five times per window, detects
+// onsets, and reports sub-window sound-to-detection percentiles.
+func TestStreamScenarioReportsLatency(t *testing.T) {
+	cfg, err := Load(strings.NewReader(demoScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Stream = true
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Stream
+	if s == nil {
+		t.Fatal("no stream report")
+	}
+	if s.HopS != DefaultHopS {
+		t.Errorf("hop = %g, want default %g", s.HopS, DefaultHopS)
+	}
+	if s.Hops < 500 {
+		t.Errorf("hops = %d, want ~600 over 6 s at 10 ms", s.Hops)
+	}
+	if s.Onsets == 0 {
+		t.Error("no onsets detected")
+	}
+	if s.CaptureErrors != 0 {
+		t.Errorf("capture errors = %d", s.CaptureErrors)
+	}
+	if s.DetectP50 <= 0 || s.DetectP50 > 0.050 {
+		t.Errorf("p50 latency = %gs, want sub-window", s.DetectP50)
+	}
+	if s.DetectP99 < s.DetectP50 || s.DetectP99 > 0.2 {
+		t.Errorf("p99 latency = %gs, want >= p50 and attributable (< 0.2s)", s.DetectP99)
+	}
+}
+
+func TestValidateRejectsBadStreamConfig(t *testing.T) {
+	cases := map[string]string{
+		"hop without stream": `{"duration_s":1,"switches":[{"name":"s"}],"hop_s":0.01}`,
+		"misaligned hop":     `{"duration_s":1,"switches":[{"name":"s"}],"stream":true,"hop_s":0.012}`,
+		"negative hop":       `{"duration_s":1,"switches":[{"name":"s"}],"stream":true,"hop_s":-0.01}`,
+	}
+	for name, js := range cases {
+		if _, err := Load(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestValidateRejectsBadSpreadApp(t *testing.T) {
 	cases := map[string]string{
 		"ddos no buckets": `{"duration_s":1,"switches":[{"name":"s"}],"apps":[{"type":"ddos","switch":"s","watch":"10.0.0.1"}]}`,

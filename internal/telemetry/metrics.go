@@ -87,6 +87,22 @@ var DefaultLatencyBuckets = []float64{
 	1, 2.5, 5, 10,
 }
 
+// StreamLatencyBuckets is a 1–2–5 log-spaced ladder from 1 µs to 1 s
+// for the streaming detection path, whose latencies concentrate below
+// a millisecond: hop wall times are microseconds and sound-to-detection
+// sim-time latencies are a few hops (hundreds of microseconds to tens
+// of milliseconds). DefaultLatencyBuckets starts at 10 µs with 2.5×
+// gaps, which folds a bimodal sub-millisecond load into one bucket and
+// makes p50 and p99 indistinguishable; this ladder keeps them apart.
+var StreamLatencyBuckets = []float64{
+	1e-6, 2e-6, 5e-6,
+	1e-5, 2e-5, 5e-5,
+	1e-4, 2e-4, 5e-4,
+	1e-3, 2e-3, 5e-3,
+	1e-2, 2e-2, 5e-2,
+	0.1, 0.2, 0.5, 1,
+}
+
 func newHistogram(bounds []float64) *Histogram {
 	bs := make([]float64, len(bounds))
 	copy(bs, bounds)

@@ -87,6 +87,14 @@ type (
 	// worker pool of detector clones, merging detections
 	// deterministically (see Controller.EnableFleet).
 	Fleet = core.Fleet
+	// StreamController is the incremental low-latency detection path:
+	// ring-buffered capture feeding sliding transform kernels, one
+	// analysis per hop instead of one per window (see
+	// Controller.StartStream).
+	StreamController = core.StreamController
+	// EdgeDedup collapses per-window tone presence into rising-edge
+	// onsets with hysteresis.
+	EdgeDedup = core.EdgeDedup
 	// Programmer installs flow rules with retry and idempotency.
 	Programmer = openflow.Programmer
 	// MetricsRegistry names and aggregates pipeline metrics.
@@ -138,6 +146,13 @@ const DefaultSpacing = core.DefaultSpacing
 
 // DefaultStride is the recommended slot stride for same-window tones.
 const DefaultStride = core.DefaultStride
+
+// ErrCompacted reports a capture request for samples older than the
+// room's compaction horizon (see Controller.Retention and
+// Controller.AnalyseOnce): the emissions that would have sounded there
+// have been dropped, so the window is unavailable, not quiet. Test
+// with errors.Is.
+var ErrCompacted = acoustic.ErrCompacted
 
 // CullAuto, assigned to Room.CullThreshold (see Testbed.EnableCulling),
 // turns on audibility culling with each microphone's own noise floor
@@ -261,6 +276,12 @@ func NewProgrammer(ch *openflow.Channel, seed int64) *Programmer {
 // Controller.EnableFleet wires one into a controller's window loop.
 func NewFleet(template *Detector, workers int) *Fleet {
 	return core.NewFleet(template, workers)
+}
+
+// NewEdgeDedup builds an onset dedup over n frequencies with the given
+// attack threshold and the default release hysteresis.
+func NewEdgeDedup(n int, threshold float64) *EdgeDedup {
+	return core.NewEdgeDedup(n, threshold)
 }
 
 // NewMetricsRegistry creates an empty metrics registry. Pass it to
