@@ -5,7 +5,7 @@
 // analysis window advances by -hop seconds per step instead of a whole
 // 50 ms window — and the report gains sound-to-detection latency
 // percentiles. With -chaos it instead
-// runs the built-in chaos sweep: the four end-to-end pipelines under a
+// runs the built-in chaos sweep: the five end-to-end pipelines under a
 // range of injected control-channel fault rates. With -metrics the
 // run's telemetry registry is dumped to stdout after the report, in
 // Prometheus text exposition format.
@@ -178,6 +178,30 @@ func printReport(rep *scenario.Report) {
 		for _, w := range h.Wire {
 			fmt.Printf("  wire %-8s %-8s sent %6d  dropped %5d  corrupted %5d\n",
 				w.Kind, w.Name, w.Sent, w.Dropped, w.Corrupted)
+		}
+	}
+	if len(rep.Devices) > 0 {
+		fmt.Println("\ndevices:")
+		for _, d := range rep.Devices {
+			fmt.Printf("  %-8s %-8s %-8s", d.Kind, d.Name, d.State)
+			if d.Kind == "mic" {
+				fmt.Printf(" noise %.6f", d.NoiseFloor)
+				if d.Floor > 0 {
+					fmt.Printf(" floor %.6f", d.Floor)
+				}
+				if d.Quarantined {
+					fmt.Print(" QUARANTINED")
+				}
+			} else {
+				if d.DetuneRatio != 0 && d.DetuneRatio != 1 {
+					fmt.Printf(" detune ×%.4f", d.DetuneRatio)
+				}
+				if d.Muted {
+					fmt.Print(" MUTED")
+				}
+			}
+			fmt.Printf("  recal %d quarantine %d rejoin %d rekey %d\n",
+				d.Recalibrations, d.Quarantines, d.Rejoins, d.Rekeys)
 		}
 	}
 	if s := rep.Stream; s != nil {

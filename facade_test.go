@@ -99,6 +99,47 @@ func TestFacadeConstructors(t *testing.T) {
 	if MethodGoertzel.String() != "goertzel" {
 		t.Error("method constant wrong")
 	}
+	if DeviceHealthy.String() != "healthy" || DeviceDetuned.String() != "detuned" {
+		t.Error("device state constants wrong")
+	}
+}
+
+// TestFacadeDeviceMonitor exercises the device-health exports: the
+// monitor rides a controller, watches a speaker, and both the health
+// snapshot and the room's read-only mic stats flow through the facade
+// types.
+func TestFacadeDeviceMonitor(t *testing.T) {
+	tb := NewTestbed(502)
+	_, voice := tb.AddVoicedSwitch("s1", 1, 0)
+	ctl := tb.NewController([]float64{700})
+
+	var mon *DeviceMonitor = ctl.EnableDeviceMonitor()
+	mon.WatchSpeaker("s1", voice, 700)
+
+	ctl.Start(0)
+	for ts := 0.1; ts < 1.0; ts += 0.3 {
+		tb.Sim.Schedule(ts, func() { voice.Play(700) })
+	}
+	tb.Sim.RunUntil(1.2)
+	ctl.Stop()
+
+	var rows []DeviceHealth = mon.Snapshot()
+	if len(rows) != 2 {
+		t.Fatalf("device rows = %d, want mic + speaker", len(rows))
+	}
+	var st DeviceState = DeviceHealthy
+	for _, d := range rows {
+		if d.State != st.String() {
+			t.Errorf("%s %s state = %s, want healthy", d.Kind, d.Name, d.State)
+		}
+	}
+	var ms MicStats = tb.Room.Microphone("controller").StatsAt(1.0)
+	if ms.NoiseRMS <= 0 || ms.Sensitivity != 1 {
+		t.Errorf("mic stats = %+v", ms)
+	}
+	if h := ctl.Health(); len(h.Devices) != 2 {
+		t.Errorf("health devices = %d, want 2", len(h.Devices))
+	}
 }
 
 type fakeRate struct{}

@@ -34,6 +34,13 @@ type Speaker struct {
 
 	room *Room
 
+	// gainRamp and detuneRamp are the degradation model (degrade.go):
+	// schedulable ramps on the speaker's output gain (base 1.0) and
+	// frequency ratio (base 1.0), applied by Play at the emission's
+	// scheduled start time.
+	gainRamp   deviceParam
+	detuneRamp deviceParam
+
 	// pairs caches the geometry to every registered microphone,
 	// indexed by Microphone.idx. Built at registration (positions are
 	// fixed once placed) and extended by AddMicrophone, it is what the
@@ -47,12 +54,23 @@ type Speaker struct {
 // usually a cheap append, since simulations schedule forward in time —
 // so neither Capture nor Emissions ever re-sorts.
 func (s *Speaker) Play(at float64, tone audio.Tone) {
-	if s.MaxAmplitude > 0 && tone.Amplitude > s.MaxAmplitude {
-		tone.Amplitude = s.MaxAmplitude
-	}
 	r := s.room
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Degradation model: an aging driver loses level and drifts off
+	// pitch. Both ramps evaluate at the emission's scheduled start, so
+	// the stored emission is already degraded and every capture of it —
+	// batch, streaming, any worker — renders identical samples. A
+	// healthy speaker (no ramps) takes the multiply-free path.
+	if len(s.gainRamp.ramps) > 0 {
+		tone.Amplitude *= s.gainRamp.atBase(1, at)
+	}
+	if len(s.detuneRamp.ramps) > 0 {
+		tone.Frequency *= s.detuneRamp.atBase(1, at)
+	}
+	if s.MaxAmplitude > 0 && tone.Amplitude > s.MaxAmplitude {
+		tone.Amplitude = s.MaxAmplitude
+	}
 	r.insertEmission(emission{Emission: Emission{At: at, Tone: tone, Speaker: s.Name}, sp: s})
 }
 
@@ -102,6 +120,13 @@ type Microphone struct {
 	// nameSeed is the FNV-1a hash of Name, the per-microphone
 	// component of the self-noise seed.
 	nameSeed int64
+
+	// noiseRamp and sensRamp are the degradation model (degrade.go):
+	// schedulable ramps on the self-noise floor (base SelfNoiseRMS)
+	// and the capture sensitivity (base 1.0; 0 = deaf), evaluated once
+	// per capture at the window start.
+	noiseRamp deviceParam
+	sensRamp  deviceParam
 
 	// Capture scratch, reused across windows so steady-state capture
 	// allocates nothing. It makes a Microphone single-capturer: at most
@@ -339,7 +364,13 @@ func (m *Microphone) CaptureInto(out *audio.Buffer, from, to float64) *audio.Buf
 	ems := r.emissions
 	cut := sort.Search(len(ems), func(i int) bool { return ems[i].At >= to })
 	lo := r.liveFrom(from, cut)
-	floor := r.cullFloor(m)
+	// Degradation model: sensitivity and the effective noise floor are
+	// evaluated once at the window start, so ramps land with window
+	// granularity and repeated captures of the same window agree. A
+	// healthy microphone (no ramps) evaluates both to its base values.
+	sens := m.sensAt(from)
+	selfNoise := m.noiseAt(from)
+	floor := r.cullFloorAt(m, from)
 	idx := m.idx
 	var mixed, culled int
 	for i := lo; i < cut; i++ {
@@ -357,8 +388,10 @@ func (m *Microphone) CaptureInto(out *audio.Buffer, from, to float64) *audio.Buf
 		// Audibility cull: the received peak amplitude is now final,
 		// so one compare decides whether this emission can matter at
 		// this microphone. With the floor at 0 nothing is culled and
-		// the walk is the bit-exact legacy mix.
-		if tone.Amplitude < floor {
+		// the walk is the bit-exact legacy mix. Sensitivity applies to
+		// the comparison (multiplying by the healthy 1.0 is exact):
+		// what matters is the level after the degraded transducer.
+		if tone.Amplitude*sens < floor {
 			culled++
 			continue
 		}
@@ -378,7 +411,18 @@ func (m *Microphone) CaptureInto(out *audio.Buffer, from, to float64) *audio.Buf
 	tm.culled.Add(uint64(culled))
 	tm.scanHist.Observe(float64(scanned))
 
-	if m.SelfNoiseRMS > 0 {
+	// A degraded transducer scales everything it picked up — tones and
+	// room noise alike — but not the self-noise mixed below, which is
+	// electronics hiss downstream of the diaphragm: a deaf microphone
+	// still hisses. The healthy path (sens == 1) skips the pass so the
+	// legacy waveform stays bit-exact.
+	if sens != 1 {
+		for i := range out.Samples {
+			out.Samples[i] *= sens
+		}
+	}
+
+	if selfNoise > 0 {
 		// Seed per (mic, window) so repeated captures of the same
 		// window return identical waveforms. The generator is reused
 		// and reseeded, which reproduces the fresh-generator stream
@@ -391,7 +435,7 @@ func (m *Microphone) CaptureInto(out *audio.Buffer, from, to float64) *audio.Buf
 		} else {
 			m.noiseRng.Seed(seed)
 		}
-		audio.MixWhiteNoise(out, m.SelfNoiseRMS, m.noiseRng)
+		audio.MixWhiteNoise(out, selfNoise, m.noiseRng)
 	}
 	return out
 }

@@ -60,16 +60,19 @@ func makePair(sp, mic Position) pairGeom {
 	return pairGeom{dist: d, att: attenuation(d), del: delay(d)}
 }
 
-// cullFloor resolves the effective audibility floor for one
-// microphone: 0 means culling is off (bit-exact legacy full walk),
-// CullAuto (any negative value) uses the microphone's own noise
-// floor, and a positive CullThreshold is an explicit shared floor.
-func (r *Room) cullFloor(m *Microphone) float64 {
-	t := r.CullThreshold
-	if t < 0 {
-		return m.SelfNoiseRMS
+// cullFloorAt resolves the effective audibility floor for one
+// microphone at time t: 0 means culling is off (bit-exact legacy full
+// walk), CullAuto (any negative value) uses the microphone's own noise
+// floor — the *effective* floor under the degradation model, so a
+// noise-ramped microphone's cull floor recalibrates with it — and a
+// positive CullThreshold is an explicit shared floor. The caller holds
+// r.mu (read side is enough).
+func (r *Room) cullFloorAt(m *Microphone, t float64) float64 {
+	th := r.CullThreshold
+	if th < 0 {
+		return m.noiseAt(t)
 	}
-	return t
+	return th
 }
 
 // insertEmission places e at its total-order position and maintains

@@ -55,6 +55,7 @@ type Controller struct {
 	ticker *netsim.Ticker
 	fleet  *Fleet
 	stream *StreamController
+	devmon *DeviceMonitor
 	buf    *audio.Buffer // reused capture scratch for the single-mic path
 
 	// mu guards the subscriber list so registration is safe from any
@@ -166,6 +167,15 @@ func (c *Controller) analyse(from, to float64) {
 	var dets []Detection
 	if c.fleet != nil {
 		dets = c.fleet.Analyse(from, to)
+	} else if c.devmon != nil {
+		// Single-microphone path with device monitoring: same capture,
+		// same filter, but the threshold is the monitor's recalibrated
+		// floor and the amplitude estimates feed its noise tracker.
+		c.buf = c.mic.CaptureInto(c.buf, from, to)
+		minAmp := c.devmon.floorFor(0, c.Detector.MinAmplitude)
+		var amps []float64
+		dets, amps = c.Detector.DetectCalibrated(c.buf, from, minAmp)
+		c.devmon.ObserveMic(0, from, dets, amps)
 	} else {
 		c.buf = c.mic.CaptureInto(c.buf, from, to)
 		dets = c.Detector.Detect(c.buf, from)
@@ -183,6 +193,13 @@ func (c *Controller) analyse(from, to float64) {
 // pipeline — both paths feed the same subscribers with the same batch
 // shape, so applications run unchanged on either.
 func (c *Controller) noteDetections(from, to float64, dets []Detection) {
+	if c.devmon != nil {
+		// Device-health fold: noise EWMAs, recalibration, quarantine,
+		// probes, and the re-key rewrite of shifted detections back to
+		// their commanded frequencies — before dispatch, so subscribers
+		// see the frequencies applications were told to expect.
+		dets = c.devmon.finishWindow(from, to, dets)
+	}
 	c.Windows++
 	c.Detections += uint64(len(dets))
 	c.tm.windows.Inc()

@@ -188,6 +188,32 @@ func (d *Detector) Detect(buf *audio.Buffer, windowStart float64) []Detection {
 	return d.filter(d.amplitudes(buf), windowStart)
 }
 
+// DetectCalibrated is Detect with an explicit absolute threshold and
+// the raw per-watch amplitude estimates exposed: the device-health
+// monitor's entry point. A recalibrated per-microphone floor replaces
+// MinAmplitude (pass d.MinAmplitude to reproduce Detect bit-exactly),
+// and the amplitudes feed the monitor's fingerprints and noise-floor
+// trackers without a second analysis pass.
+//
+// Both returned slices are detector scratch, valid until the next
+// analysis call on this detector.
+func (d *Detector) DetectCalibrated(buf *audio.Buffer, windowStart, minAmp float64) ([]Detection, []float64) {
+	if buf == nil || buf.Len() == 0 {
+		return nil, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.watch) == 0 {
+		return nil, nil
+	}
+	amps := d.amplitudes(buf)
+	d.out = filterDetections(d.out[:0], amps, d.watch, minAmp, d.RelativeFloor, windowStart)
+	if len(d.out) == 0 {
+		return nil, amps
+	}
+	return d.out, amps
+}
+
 // amplitudes computes the per-watch pre-threshold amplitude estimates
 // of one window — the raw material of both the threshold filter and
 // the streaming path's edge dedup (which needs sub-threshold values

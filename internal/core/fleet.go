@@ -41,6 +41,22 @@ type Fleet struct {
 	merged  []Detection
 	sortTmp []Detection // merge-sort scratch, reserved with merged
 
+	// mon, when set, receives each microphone's per-window amplitude
+	// estimates and supplies per-microphone detection floors (see
+	// Controller.EnableDeviceMonitor).
+	mon *DeviceMonitor
+
+	// Quarantine state: quarMu guards the flags so SetQuarantined is
+	// safe from any goroutine; Analyse snapshots the active index list
+	// under the lock at fan-out, so mid-window flips land on the next
+	// window. Shard boundaries are a pure function of the ACTIVE
+	// microphone count, so the merge stays byte-identical at any worker
+	// count for a given quarantine set.
+	quarMu      sync.Mutex
+	quarantined []bool
+	active      []int
+	activeDirty bool
+
 	// Window bounds for the in-flight fan-out; written before tasks
 	// are sent, read by workers after receiving one (the channel send
 	// is the happens-before edge).
@@ -98,6 +114,51 @@ func (f *Fleet) AddMicrophone(m *acoustic.Microphone) {
 	}
 	f.mics = append(f.mics, m)
 	f.out = append(f.out, nil)
+	f.quarMu.Lock()
+	f.quarantined = append(f.quarantined, false)
+	f.activeDirty = true
+	f.quarMu.Unlock()
+}
+
+// SetQuarantined drops microphone i from (or readmits it to) the
+// fan-out. Safe from any goroutine; a flip during an in-flight window
+// takes effect at the next Analyse. Quarantined microphones are not
+// captured by the fleet, so an out-of-band prober may capture them
+// without violating the single-capturer contract.
+func (f *Fleet) SetQuarantined(i int, q bool) {
+	f.quarMu.Lock()
+	defer f.quarMu.Unlock()
+	if i < 0 || i >= len(f.quarantined) {
+		panic("core: Fleet.SetQuarantined index out of range")
+	}
+	if f.quarantined[i] != q {
+		f.quarantined[i] = q
+		f.activeDirty = true
+	}
+}
+
+// IsQuarantined reports whether microphone i is out of the fan-out.
+func (f *Fleet) IsQuarantined(i int) bool {
+	f.quarMu.Lock()
+	defer f.quarMu.Unlock()
+	return i >= 0 && i < len(f.quarantined) && f.quarantined[i]
+}
+
+// syncActive rebuilds the active-microphone index snapshot when the
+// quarantine set moved. Called at fan-out, before workers read it.
+func (f *Fleet) syncActive() {
+	f.quarMu.Lock()
+	defer f.quarMu.Unlock()
+	if !f.activeDirty && f.active != nil {
+		return
+	}
+	f.active = f.active[:0]
+	for i, q := range f.quarantined {
+		if !q {
+			f.active = append(f.active, i)
+		}
+	}
+	f.activeDirty = false
 }
 
 // Microphones returns the number of registered listening points.
@@ -122,6 +183,10 @@ func (f *Fleet) Analyse(from, to float64) []Detection {
 	if len(f.mics) == 0 {
 		return nil
 	}
+	f.syncActive()
+	if len(f.active) == 0 {
+		return nil
+	}
 	sp := telemetry.StartSpan(f.window, f.wall)
 	for attempt := 0; ; attempt++ {
 		// Snapshot the watch revision the whole window will run under.
@@ -132,16 +197,16 @@ func (f *Fleet) Analyse(from, to float64) []Detection {
 		f.syncClones(rev)
 		f.reserve()
 		f.from, f.to = from, to
-		if f.workers == 1 || len(f.mics) == 1 {
+		if f.workers == 1 || len(f.active) == 1 {
 			// Serial reference path: same per-microphone work, same merge.
-			for i := range f.mics {
+			for _, i := range f.active {
 				f.analyseMic(0, i)
 			}
 		} else {
 			f.start()
 			shards := f.shards()
 			f.wg.Add(shards)
-			m := len(f.mics)
+			m := len(f.active)
 			base, ext := m/shards, m%shards
 			lo := 0
 			for s := 0; s < shards; s++ {
@@ -163,7 +228,7 @@ func (f *Fleet) Analyse(from, to float64) []Detection {
 		f.stale.Inc()
 	}
 	f.merged = f.merged[:0]
-	for i := range f.out {
+	for _, i := range f.active {
 		f.merged = append(f.merged, f.out[i]...)
 	}
 	sortDetections(f.merged, f.sortTmp)
@@ -247,24 +312,24 @@ func (f *Fleet) start() {
 	f.started = true
 }
 
-// micShard is one contiguous run [lo, hi) of microphone indices — the
-// unit of parallel fan-out. Sharding microphones instead of sending
-// them one at a time amortises channel traffic at fleet scale: a
-// 1024-microphone window is ~4×workers sends rather than 1024, while
+// micShard is one contiguous run [lo, hi) of ACTIVE-list positions —
+// the unit of parallel fan-out. Sharding microphones instead of
+// sending them one at a time amortises channel traffic at fleet scale:
+// a 1024-microphone window is ~4×workers sends rather than 1024, while
 // each worker still iterates only the audible sets of its shard's
 // microphones (the per-microphone culled capture).
 type micShard struct{ lo, hi int }
 
 // shards returns the fan-out granularity: several contiguous shards
 // per worker so an unlucky shard of loud microphones cannot straggle
-// the window, capped at one shard per microphone. Shard boundaries
-// are a pure function of the microphone count, never the pool size's
-// scheduling luck; workers write per-microphone result slots, so the
-// merged output is identical at any worker count.
+// the window, capped at one shard per active microphone. Shard
+// boundaries are a pure function of the active count, never the pool
+// size's scheduling luck; workers write per-microphone result slots,
+// so the merged output is identical at any worker count.
 func (f *Fleet) shards() int {
 	n := 4 * f.workers
-	if n > len(f.mics) {
-		n = len(f.mics)
+	if n > len(f.active) {
+		n = len(f.active)
 	}
 	return n
 }
@@ -275,8 +340,8 @@ func (f *Fleet) shards() int {
 func (f *Fleet) worker(w int) {
 	for sh := range f.tasks {
 		f.busy.Add(1)
-		for i := sh.lo; i < sh.hi; i++ {
-			f.analyseMic(w, i)
+		for k := sh.lo; k < sh.hi; k++ {
+			f.analyseMic(w, f.active[k])
 		}
 		f.busy.Add(-1)
 		f.wg.Done()
@@ -284,9 +349,19 @@ func (f *Fleet) worker(w int) {
 }
 
 // analyseMic captures one microphone's window with worker w's scratch
-// and stores the detections in the microphone's result slot.
+// and stores the detections in the microphone's result slot. With a
+// device monitor attached, the detection threshold is the monitor's
+// recalibrated per-microphone floor and the amplitude estimates feed
+// its noise tracker (stored per microphone, folded after the barrier).
 func (f *Fleet) analyseMic(w, i int) {
 	f.bufs[w] = f.mics[i].CaptureInto(f.bufs[w], f.from, f.to)
+	if f.mon != nil {
+		minAmp := f.mon.floorFor(i, f.dets[w].MinAmplitude)
+		dets, amps := f.dets[w].DetectCalibrated(f.bufs[w], f.from, minAmp)
+		f.mon.ObserveMic(i, f.from, dets, amps)
+		f.out[i] = append(f.out[i][:0], dets...)
+		return
+	}
 	dets := f.dets[w].Detect(f.bufs[w], f.from)
 	f.out[i] = append(f.out[i][:0], dets...)
 }

@@ -119,6 +119,10 @@ type HealthSnapshot struct {
 	// WireLossRate is (dropped+corrupted)/sent across all of them.
 	Wire         []WireCounters `json:"wire,omitempty"`
 	WireLossRate float64        `json:"wire_loss_rate"`
+
+	// Devices lists per-device health when a DeviceMonitor is enabled:
+	// microphones in fleet order, then watched speakers.
+	Devices []DeviceHealth `json:"devices,omitempty"`
 }
 
 // wireRef reads one registered element's counters lazily, so Health
@@ -273,6 +277,20 @@ func (c *Controller) Health() HealthSnapshot {
 		snap.WireLossRate = float64(lost) / float64(sent)
 	}
 
+	// Device health: the monitor's per-device rows, plus the counts the
+	// verdict below folds in.
+	var micsQuarantined, micsTotal, speakersUnhealthy int
+	if m := c.devmon; m != nil {
+		snap.Devices = m.Snapshot()
+		micsTotal = len(m.mics)
+		micsQuarantined = m.MicsQuarantined()
+		for _, t := range m.speakers {
+			if t.state == DeviceDetuned || t.state == DeviceSilent {
+				speakersUnhealthy++
+			}
+		}
+	}
+
 	// Verdict: Stalled beats Degraded beats Healthy.
 	stallAfter := h.threshold(h.StallWindows, DefaultStallWindows) * c.Window
 	if c.started && now-h.lastWindowEnd > stallAfter {
@@ -284,7 +302,19 @@ func (c *Controller) Health() HealthSnapshot {
 		snap.Reasons = append(snap.Reasons, "every subscriber is quarantined")
 		snap.State = Stalled
 	}
+	if micsTotal > 0 && micsQuarantined == micsTotal {
+		snap.Reasons = append(snap.Reasons, "every microphone is quarantined")
+		snap.State = Stalled
+	}
 	if snap.State != Stalled {
+		if micsQuarantined > 0 {
+			snap.Reasons = append(snap.Reasons, fmt.Sprintf(
+				"%d of %d microphone(s) quarantined", micsQuarantined, micsTotal))
+		}
+		if speakersUnhealthy > 0 {
+			snap.Reasons = append(snap.Reasons, fmt.Sprintf(
+				"%d speaker(s) detuned or silent", speakersUnhealthy))
+		}
 		if len(snap.Quarantined) > 0 {
 			snap.Reasons = append(snap.Reasons, fmt.Sprintf("%d subscriber(s) quarantined", len(snap.Quarantined)))
 		}

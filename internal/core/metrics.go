@@ -139,6 +139,27 @@ const (
 	metricStreamHopWall       = "mdn_stream_hop_seconds"
 )
 
+// Device-health metric names (see DeviceMonitor.Instrument). The state
+// gauge encodes DeviceState numerically (0 healthy, 1 drifting, 2 deaf,
+// 3 detuned, 4 silent); the rest are aggregate event counters.
+//
+//	mdn_device_state{kind,name}        current DeviceState per device
+//	mdn_device_noise_floor{mic}        EWMA bin-noise estimate per microphone
+//	mdn_device_transitions_total       device state transitions
+//	mdn_device_recalibrations_total    detection-threshold recalibrations
+//	mdn_device_quarantines_total       microphones dropped from the fan-out
+//	mdn_device_rejoins_total           quarantined microphones readmitted
+//	mdn_device_rekeys_total            detuned speakers re-keyed
+const (
+	metricDeviceState          = "mdn_device_state"
+	metricDeviceNoiseFloor     = "mdn_device_noise_floor"
+	metricDeviceTransitions    = "mdn_device_transitions_total"
+	metricDeviceRecalibrations = "mdn_device_recalibrations_total"
+	metricDeviceQuarantines    = "mdn_device_quarantines_total"
+	metricDeviceRejoins        = "mdn_device_rejoins_total"
+	metricDeviceRekeys         = "mdn_device_rekeys_total"
+)
+
 const (
 	metricAppOnsets          = "mdn_app_onsets_total"
 	metricAppEvents          = "mdn_app_events_total"

@@ -95,10 +95,16 @@ type StreamController struct {
 // streamPipe is one microphone's capture → transform lane. Exactly one
 // of sg/stft is set, by detection method.
 type streamPipe struct {
+	idx  int // microphone index (fleet order; 0 on the single-mic path)
 	ring *acoustic.CaptureRing
 	q    *parallel.SPSC[hopFrame]
 	pool [][]float64 // frame sample buffers, one per queue slot
 	seq  int
+
+	// skipped marks a pipe sitting out hops because its microphone is
+	// quarantined; on rejoin the pipe resets and re-primes from the
+	// live edge.
+	skipped bool
 
 	sg    *dsp.SlidingGoertzel
 	stft  *dsp.OverlapSTFT
@@ -166,8 +172,10 @@ func (c *Controller) StartStream(at, hop float64) *StreamController {
 		// merging per-window detections in the fleet's order.
 		mics = c.fleet.mics
 	}
-	for _, m := range mics {
-		s.pipes = append(s.pipes, s.newPipe(m))
+	for i, m := range mics {
+		p := s.newPipe(m)
+		p.idx = i
+		s.pipes = append(s.pipes, p)
 	}
 	nf := len(s.freqs)
 	bound := nf * len(s.pipes)
@@ -247,6 +255,9 @@ func (s *StreamController) step(from, to float64) {
 	s.Hops++
 	s.tm.hops.Inc()
 	for _, p := range s.pipes {
+		if s.skipPipe(p) {
+			continue
+		}
 		if err := p.capture(from, to); err != nil {
 			s.captureError(to, err)
 			sp.End()
@@ -258,6 +269,9 @@ func (s *StreamController) step(from, to float64) {
 		s.peak[i] = 0
 	}
 	for _, p := range s.pipes {
+		if p.skipped {
+			continue
+		}
 		p.drain(s)
 		emitted = emitted || p.emitted
 	}
@@ -292,6 +306,27 @@ func (s *StreamController) step(from, to float64) {
 		s.pipes[0].ring.Mic().Room().CompactBefore(winStart - r)
 	}
 	sp.End()
+}
+
+// skipPipe reports whether pipe p sits this hop out because its
+// microphone is quarantined by the device monitor. A rejoining pipe
+// resets first so it re-primes from the live edge instead of splicing
+// pre-quarantine samples onto the current window.
+func (s *StreamController) skipPipe(p *streamPipe) bool {
+	mon := s.ctrl.devmon
+	if mon != nil && mon.micQuarantined(p.idx) {
+		if !p.skipped {
+			p.skipped = true
+			p.dets = p.dets[:0]
+			p.emitted = false
+		}
+		return true
+	}
+	if p.skipped {
+		p.skipped = false
+		p.reset()
+	}
+	return false
 }
 
 // capture renders [from, to) into the pipe's ring and publishes the
@@ -348,7 +383,14 @@ func (p *streamPipe) finishWindow(s *StreamController) {
 	p.emitted = true
 	d := s.ctrl.Detector
 	winStart := p.curTo - s.window
-	p.dets = filterDetections(p.dets[:0], p.amps, s.freqs, d.MinAmplitude, d.RelativeFloor, winStart)
+	minAmp := d.MinAmplitude
+	if mon := s.ctrl.devmon; mon != nil {
+		minAmp = mon.floorFor(p.idx, minAmp)
+	}
+	p.dets = filterDetections(p.dets[:0], p.amps, s.freqs, minAmp, d.RelativeFloor, winStart)
+	if mon := s.ctrl.devmon; mon != nil {
+		mon.ObserveMic(p.idx, winStart, p.dets, p.amps)
+	}
 	for i, a := range p.amps {
 		if a > s.peak[i] {
 			s.peak[i] = a
@@ -388,16 +430,23 @@ func (s *StreamController) captureError(now float64, err error) {
 	s.tm.captureErrs.Inc()
 	s.ctrl.Errors.Record(now, "stream", err)
 	for _, p := range s.pipes {
-		p.ring.Reset()
-		if p.sg != nil {
-			p.sg.Reset()
-		} else {
-			p.stft.Reset()
-		}
-		for {
-			if _, ok := p.q.TryPop(); !ok {
-				break
-			}
+		p.reset()
+	}
+}
+
+// reset clears the pipe's ring, sliding kernel, and in-flight frames so
+// it re-primes cleanly — after a capture error, or when a quarantined
+// microphone rejoins.
+func (p *streamPipe) reset() {
+	p.ring.Reset()
+	if p.sg != nil {
+		p.sg.Reset()
+	} else {
+		p.stft.Reset()
+	}
+	for {
+		if _, ok := p.q.TryPop(); !ok {
+			break
 		}
 	}
 }

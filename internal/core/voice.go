@@ -32,6 +32,7 @@ type Voice struct {
 	sim     *netsim.Sim
 	sounder *mp.Sounder
 	last    map[float64]float64
+	muted   bool
 
 	// Emitted counts accepted emissions.
 	Emitted uint64
@@ -54,6 +55,10 @@ func NewVoice(sim *netsim.Sim, sounder *mp.Sounder) *Voice {
 // Play emits a tone at freq now, unless the same frequency was played
 // less than MinGap ago. It reports whether the tone was emitted.
 func (v *Voice) Play(freq float64) bool {
+	if v.muted {
+		v.Suppressed++
+		return false
+	}
 	now := v.sim.Now()
 	if t, seen := v.last[freq]; seen && now-t < v.MinGap {
 		v.Suppressed++
@@ -72,9 +77,23 @@ func (v *Voice) Play(freq float64) bool {
 // PlayMessage emits an explicit MP message without rate limiting —
 // for applications that do their own pacing.
 func (v *Voice) PlayMessage(m mp.Message) {
+	if v.muted {
+		v.Suppressed++
+		return
+	}
 	v.Emitted++
 	v.sounder.Emit(m)
 }
+
+// SetMuted silences (or un-silences) the voice: while muted, Play and
+// PlayMessage drop emissions and count them as suppressed. The
+// device-health monitor mutes a voice whose speaker has gone silent
+// beyond recovery, so a dead driver stops burning the shared acoustic
+// channel. Call from the simulation goroutine (like Play).
+func (v *Voice) SetMuted(muted bool) { v.muted = muted }
+
+// Muted reports whether the voice is muted.
+func (v *Voice) Muted() bool { return v.muted }
 
 // Sounder returns the underlying switch-side MP sender — the hook for
 // fault injection and for registering its counters with the

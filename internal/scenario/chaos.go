@@ -28,7 +28,7 @@ import (
 // ChaosReport, so sweeps are replayable evidence, not anecdotes.
 
 // ChaosScenarioNames are the pipelines the harness can run.
-var ChaosScenarioNames = []string{"portknock", "heavyhitter", "loadbalance", "heartbeat"}
+var ChaosScenarioNames = []string{"portknock", "heavyhitter", "loadbalance", "heartbeat", "devicehealth"}
 
 // ChaosConfig parameterises a chaos sweep.
 type ChaosConfig struct {
@@ -95,6 +95,12 @@ type ChaosPoint struct {
 	// Notes carries scenario-specific outcomes (rule installed,
 	// alerts raised).
 	Notes string `json:"notes,omitempty"`
+	// Devices is the device-health monitor's end-of-run snapshot (set
+	// only by the devicehealth scenario): per-device state, noise
+	// floors, and the transition / recalibration / quarantine / rejoin
+	// / re-key counts. Every field is a deterministic function of the
+	// simulated run, so the sweep's byte-identity contract holds.
+	Devices []core.DeviceHealth `json:"devices,omitempty"`
 }
 
 // ChaosReport is a full sweep.
@@ -222,10 +228,11 @@ func mixSeed(s int64) int64 {
 type chaosRun func(reg *telemetry.Registry, faults netsim.Faults, dur, streamHop float64) ChaosPoint
 
 var chaosScenarios = map[string]chaosRun{
-	"portknock":   chaosPortKnock,
-	"heavyhitter": chaosHeavyHitter,
-	"loadbalance": chaosLoadBalance,
-	"heartbeat":   chaosHeartbeat,
+	"portknock":    chaosPortKnock,
+	"heavyhitter":  chaosHeavyHitter,
+	"loadbalance":  chaosLoadBalance,
+	"heartbeat":    chaosHeartbeat,
+	"devicehealth": chaosDeviceHealth,
 }
 
 // chaosEnv is the one-switch testbed every chaos pipeline shares: a
@@ -489,6 +496,102 @@ func chaosHeartbeat(reg *telemetry.Registry, faults netsim.Faults, dur, streamHo
 		}
 	}
 	pt.Notes = fmt.Sprintf("alerts=%d death-alert=%v", len(hb.Alerts), alertAfterDeath)
+	return pt
+}
+
+// chaosDeviceHealth ages the hardware itself, on top of whatever the
+// wire faults do: a three-microphone fleet listens to two beating
+// speakers while one microphone's noise floor ramps up mid-run (and is
+// repaired at half time) and one speaker drifts 4% off pitch for good.
+// The device monitor must recalibrate the noisy microphone's detection
+// threshold, quarantine it once it is effectively deaf, rejoin it after
+// the repair, and re-key the detuned speaker so its beats keep arriving
+// at the commanded frequency — so the point ends Degraded (the detune
+// persists), never Stalled. Truth is tones emitted by both voices;
+// detection is rising-edge onsets at the two commanded frequencies,
+// which keeps counting across the re-key because the monitor rewrites
+// shifted detections back before dispatch.
+func chaosDeviceHealth(reg *telemetry.Registry, faults netsim.Faults, dur, streamHop float64) ChaosPoint {
+	e := newChaosEnv(reg, faults, streamHop)
+	room := e.ctrl.Mic().Room()
+	m1 := room.AddMicrophone("m1", acoustic.Position{Y: 1}, 0.0005)
+	m2 := room.AddMicrophone("m2", acoustic.Position{Y: 2}, 0.0005)
+	sp2 := room.AddSpeaker("s2", acoustic.Position{X: -1})
+	voice2 := core.NewVoice(e.sim, mp.NewSounder(mp.NewPi(e.sim, sp2, 0.002)))
+	if faults != (netsim.Faults{}) {
+		f := faults
+		f.Seed = faults.Seed + 13 // independent stream for the second hop
+		voice2.Sounder().InjectFaults(f)
+	}
+	e.ctrl.RegisterVoice("s2", voice2)
+	voice2.Instrument(e.reg, "s2")
+
+	fleet := e.ctrl.EnableFleet(2)
+	fleet.AddMicrophone(m1)
+	fleet.AddMicrophone(m2)
+	defer fleet.Close()
+
+	mon := e.ctrl.EnableDeviceMonitor()
+	// Probe after half a second of fingerprint silence so the re-key
+	// lands well inside even an 8 s point.
+	mon.SilentWindows = 10
+	const beat1, beat2 = 700.0, 880.0
+	mon.WatchSpeaker("s1", e.voice, beat1)
+	mon.WatchSpeaker("s2", voice2, beat2)
+	e.ctrl.Detector.AddWatch(beat1, beat2)
+
+	// Rising-edge onset counter over the two commanded frequencies.
+	detected := 0
+	prev1, prev2 := false, false
+	e.ctrl.SubscribeWindowsNamed("beatcount", func(_ float64, dets []core.Detection) {
+		cur1, cur2 := false, false
+		for _, d := range dets {
+			switch d.Frequency {
+			case beat1:
+				cur1 = true
+			case beat2:
+				cur2 = true
+			}
+		}
+		if cur1 && !prev1 {
+			detected++
+		}
+		if cur2 && !prev2 {
+			detected++
+		}
+		prev1, prev2 = cur1, cur2
+	})
+	e.addCanary()
+	e.start()
+
+	e.sim.Every(0.1, 0.3, func(now float64) {
+		e.voice.Play(beat1)
+		voice2.Play(beat2)
+	})
+
+	// Fault timeline, scaled to the run. The noise ramp buries m1's
+	// beats under a 0.5 RMS hiss until the repair at half time; the
+	// detune is never repaired, so the point ends Degraded.
+	noiseAt, clearAt := 0.15*dur, 0.5*dur
+	m1.ScheduleNoiseRamp(noiseAt, noiseAt+0.5, 0.5)
+	m1.ScheduleNoiseRamp(clearAt, clearAt+0.5, 0.0005)
+	detuneAt := 0.2 * dur
+	sp2.ScheduleDetune(detuneAt, detuneAt+0.5, 1.04)
+
+	var pt ChaosPoint
+	e.finish(dur, &pt)
+	pt.GroundTruth = int(e.voice.Emitted + voice2.Emitted)
+	pt.Detected = detected
+	pt.Devices = mon.Snapshot()
+	var recals, quars, rejoins, rekeys uint64
+	for _, d := range pt.Devices {
+		recals += d.Recalibrations
+		quars += d.Quarantines
+		rejoins += d.Rejoins
+		rekeys += d.Rekeys
+	}
+	pt.Notes = fmt.Sprintf("recal=%d quarantine=%d rejoin=%d rekey=%d",
+		recals, quars, rejoins, rekeys)
 	return pt
 }
 

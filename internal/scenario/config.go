@@ -38,6 +38,20 @@ type Config struct {
 	Traffic []TrafficConfig `json:"traffic,omitempty"`
 	// Noise sources in the room.
 	Noise []NoiseConfig `json:"noise,omitempty"`
+	// Mics adds extra listening points: the controller fans each
+	// analysis window over every microphone (fleet engine) and merges
+	// detections by (time, frequency). The primary microphone
+	// "controller" at the origin is always present.
+	Mics []MicConfig `json:"mics,omitempty"`
+	// DeviceFaults schedules deterministic hardware degradation on
+	// named microphones and switch speakers: noise-floor ramps,
+	// sensitivity loss, output decay, detuning. Any entry (or any extra
+	// microphone) enables the device-health monitor — detection
+	// thresholds recalibrate as noise climbs, deaf microphones are
+	// quarantined and rejoin when they recover, detuned speakers are
+	// re-keyed, dead ones muted — and the report gains a Devices
+	// section.
+	DeviceFaults []DeviceFaultConfig `json:"device_faults,omitempty"`
 	// MinAmplitude overrides the controller's detection floor
 	// (linear tone amplitude at the microphone). Deployments with
 	// loud ambience calibrate this above the background's tonal
@@ -157,6 +171,48 @@ type TrafficConfig struct {
 	FirstPort  uint16  `json:"first_port,omitempty"`
 	NumPorts   int     `json:"num_ports,omitempty"`
 	IntervalMs float64 `json:"interval_ms,omitempty"`
+}
+
+// MicConfig places one extra controller microphone in the room.
+type MicConfig struct {
+	Name string  `json:"name"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	// NoiseRMS is the microphone's electronics noise floor (linear
+	// RMS); 0 means the 0.0005 default.
+	NoiseRMS float64 `json:"noise_rms,omitempty"`
+}
+
+// Device fault kinds accepted by DeviceFaultConfig.Kind.
+const (
+	// FaultMicNoiseRamp ramps a microphone's self-noise floor to Level
+	// (linear RMS).
+	FaultMicNoiseRamp = "mic_noise_ramp"
+	// FaultMicSensitivity ramps a microphone's capture gain to Level
+	// (1 healthy, 0 stone deaf).
+	FaultMicSensitivity = "mic_sensitivity"
+	// FaultSpeakerDecay ramps a speaker's output gain to Level
+	// (1 healthy, 0 dead).
+	FaultSpeakerDecay = "speaker_decay"
+	// FaultSpeakerDetune ramps a speaker's emitted/commanded frequency
+	// ratio to Level (1 in tune).
+	FaultSpeakerDetune = "speaker_detune"
+)
+
+// DeviceFaultConfig schedules one hardware degradation ramp. The
+// parameter moves linearly from its current value to Level over
+// [start_s, end_s); with clear_s set, a second ramp of the same length
+// returns it to the healthy value — modelling a repair or a unit swap.
+type DeviceFaultConfig struct {
+	// Kind is one of the Fault* constants above.
+	Kind string `json:"kind"`
+	// Device names the target: "controller" or an entry of Mics for
+	// the mic kinds, a switch name for the speaker kinds.
+	Device string  `json:"device"`
+	StartS float64 `json:"start_s"`
+	EndS   float64 `json:"end_s"`
+	Level  float64 `json:"level"`
+	ClearS float64 `json:"clear_s,omitempty"`
 }
 
 // NoiseConfig adds a background source.
@@ -310,6 +366,59 @@ func (c *Config) Validate() error {
 		default:
 			return fmt.Errorf("scenario: unknown noise type %q (entry %d)", n.Type, i)
 		}
+	}
+	mics := map[string]bool{"controller": true}
+	for _, mc := range c.Mics {
+		if mc.Name == "" {
+			return fmt.Errorf("scenario: mic with empty name")
+		}
+		if mics[mc.Name] {
+			return fmt.Errorf("scenario: duplicate mic %q", mc.Name)
+		}
+		mics[mc.Name] = true
+		if mc.NoiseRMS < 0 {
+			return fmt.Errorf("scenario: mic %q noise_rms must be non-negative", mc.Name)
+		}
+	}
+	for i, df := range c.DeviceFaults {
+		switch df.Kind {
+		case FaultMicNoiseRamp, FaultMicSensitivity:
+			if !mics[df.Device] {
+				return fmt.Errorf("scenario: device fault %d references unknown mic %q", i, df.Device)
+			}
+		case FaultSpeakerDecay, FaultSpeakerDetune:
+			if !switches[df.Device] {
+				return fmt.Errorf("scenario: device fault %d references unknown switch %q", i, df.Device)
+			}
+		default:
+			return fmt.Errorf("scenario: unknown device fault kind %q (entry %d)", df.Kind, i)
+		}
+		if df.StartS < 0 || df.EndS <= df.StartS {
+			return fmt.Errorf("scenario: device fault %d needs 0 <= start_s < end_s", i)
+		}
+		if df.Level < 0 {
+			return fmt.Errorf("scenario: device fault %d level must be non-negative", i)
+		}
+		if df.Kind == FaultSpeakerDetune && df.Level <= 0 {
+			return fmt.Errorf("scenario: device fault %d detune ratio must be positive", i)
+		}
+		if df.ClearS != 0 && df.ClearS < df.EndS {
+			return fmt.Errorf("scenario: device fault %d clear_s precedes end_s", i)
+		}
+	}
+	// The acoustic layer requires ramps on one parameter to be
+	// scheduled forward; a config must not be able to trip that panic.
+	lastRamp := map[string]float64{}
+	for i, df := range c.DeviceFaults {
+		key := df.Kind + "\x00" + df.Device
+		end := df.EndS
+		if df.ClearS != 0 {
+			end = df.ClearS + (df.EndS - df.StartS)
+		}
+		if df.StartS < lastRamp[key] {
+			return fmt.Errorf("scenario: device fault %d overlaps an earlier %s ramp on %q", i, df.Kind, df.Device)
+		}
+		lastRamp[key] = end
 	}
 	if f := c.Faults; f != nil {
 		for _, p := range []struct {

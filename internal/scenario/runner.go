@@ -37,6 +37,12 @@ type Report struct {
 	// Stream summarises the streaming detection path (set only when
 	// Config.Stream).
 	Stream *StreamReport `json:"stream,omitempty"`
+	// Devices is the device-health monitor's end-of-run snapshot, one
+	// row per microphone and watched speaker (set only when the config
+	// has extra mics or device faults). Rows are deterministic
+	// functions of the simulated run, ordered mics-then-speakers in
+	// registration order.
+	Devices []core.DeviceHealth `json:"devices,omitempty"`
 }
 
 // StreamReport is the streaming path's run summary: hop counts and the
@@ -85,6 +91,15 @@ func Run(c *Config) (*Report, error) {
 	// the manager exists below).
 	room.CullThreshold = acoustic.CullAuto
 	mic := room.AddMicrophone("controller", acoustic.Position{}, 0.0005)
+	extraMics := make([]*acoustic.Microphone, 0, len(c.Mics))
+	for _, mc := range c.Mics {
+		noise := mc.NoiseRMS
+		if noise == 0 {
+			noise = 0.0005
+		}
+		extraMics = append(extraMics,
+			room.AddMicrophone(mc.Name, acoustic.Position{X: mc.X, Y: mc.Y}, noise))
+	}
 	plan := core.DefaultPlan()
 
 	// Switches with voices.
@@ -172,6 +187,10 @@ func Run(c *Config) (*Report, error) {
 	}
 	var apps []deployed
 	taps := make(map[string][]func(*netsim.Packet, int))
+	// Frequencies each switch's speaker is commanded to emit, collected
+	// as applications deploy — the device monitor's speaker fingerprints
+	// train on these.
+	switchFreqs := make(map[string][]float64)
 	hb := core.NewHeartbeat()
 	hbUsed := false
 	for _, ac := range c.Apps {
@@ -190,6 +209,7 @@ func Run(c *Config) (*Report, error) {
 			}
 			hh.Instrument(reg, ac.Switch)
 			taps[ac.Switch] = append(taps[ac.Switch], hh.Tap)
+			switchFreqs[ac.Switch] = append(switchFreqs[ac.Switch], hh.Frequencies()...)
 			apps = append(apps, deployed{ac, hh})
 		case "portscan":
 			ps, err := core.NewPortScan(plan, ac.Switch, voice, ac.FirstPort, ac.NumPorts)
@@ -204,6 +224,7 @@ func Run(c *Config) (*Report, error) {
 			}
 			ps.Instrument(reg, ac.Switch)
 			taps[ac.Switch] = append(taps[ac.Switch], ps.Tap)
+			switchFreqs[ac.Switch] = append(switchFreqs[ac.Switch], ps.Frequencies()...)
 			apps = append(apps, deployed{ac, ps})
 		case "queuemon":
 			qm, err := core.NewQueueMonitor(plan, sws[ac.Switch], ac.Port, voice)
@@ -215,6 +236,7 @@ func Run(c *Config) (*Report, error) {
 			}
 			qm.Instrument(reg, ac.Switch)
 			qm.StartSwitchSide(sim, 0.05)
+			switchFreqs[ac.Switch] = append(switchFreqs[ac.Switch], qm.Frequencies()...)
 			apps = append(apps, deployed{ac, qm})
 		case "ddos", "superspreader":
 			mode := core.ModeDDoSVictim
@@ -235,6 +257,7 @@ func Run(c *Config) (*Report, error) {
 			}
 			sd.Instrument(reg, ac.Switch)
 			taps[ac.Switch] = append(taps[ac.Switch], sd.Tap)
+			switchFreqs[ac.Switch] = append(switchFreqs[ac.Switch], sd.Frequencies()...)
 			apps = append(apps, deployed{ac, sd})
 		case "heartbeat":
 			f, err := hb.Register(plan, ac.Switch, voice)
@@ -247,6 +270,7 @@ func Run(c *Config) (*Report, error) {
 			if _, err := hb.StartDevice(sim, f, 0.1); err != nil {
 				return nil, err
 			}
+			switchFreqs[ac.Switch] = append(switchFreqs[ac.Switch], f)
 			hbUsed = true
 		}
 	}
@@ -267,6 +291,30 @@ func Run(c *Config) (*Report, error) {
 	}
 	if c.MinAmplitude > 0 {
 		mgr.Ctrl.Detector.MinAmplitude = c.MinAmplitude
+	}
+	// Device health: extra listening points fan out through the fleet
+	// engine; any fault (or any extra mic) arms the monitor so floors
+	// recalibrate, deaf mics quarantine and rejoin, and faulted
+	// speakers are fingerprinted for re-keying.
+	if len(extraMics) > 0 {
+		fleet := mgr.Ctrl.EnableFleet(0)
+		for _, m := range extraMics {
+			fleet.AddMicrophone(m)
+		}
+		fleet.Instrument(reg)
+		defer fleet.Close()
+	}
+	if len(extraMics) > 0 || len(c.DeviceFaults) > 0 {
+		mon := mgr.Ctrl.EnableDeviceMonitor()
+		watched := map[string]bool{}
+		for _, df := range c.DeviceFaults {
+			applyDeviceFault(room, df)
+			speakerFault := df.Kind == FaultSpeakerDecay || df.Kind == FaultSpeakerDetune
+			if speakerFault && !watched[df.Device] {
+				watched[df.Device] = true
+				mon.WatchSpeaker(df.Device, voices[df.Device], switchFreqs[df.Device]...)
+			}
+		}
 	}
 	var stream *core.StreamController
 	if c.Stream {
@@ -383,6 +431,9 @@ func Run(c *Config) (*Report, error) {
 	rep.Health = &health
 	snap := reg.Snapshot()
 	rep.Metrics = &snap
+	if mon := mgr.Ctrl.DeviceMonitor(); mon != nil {
+		rep.Devices = mon.Snapshot()
+	}
 	if stream != nil {
 		rep.Stream = &StreamReport{
 			HopS:          stream.Hop(),
@@ -394,4 +445,36 @@ func Run(c *Config) (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// applyDeviceFault schedules one validated degradation ramp (and its
+// optional healing ramp) on the acoustic plane.
+func applyDeviceFault(room *acoustic.Room, f DeviceFaultConfig) {
+	span := f.EndS - f.StartS
+	switch f.Kind {
+	case FaultMicNoiseRamp:
+		m := room.Microphone(f.Device)
+		m.ScheduleNoiseRamp(f.StartS, f.EndS, f.Level)
+		if f.ClearS != 0 {
+			m.ScheduleNoiseRamp(f.ClearS, f.ClearS+span, m.SelfNoiseRMS)
+		}
+	case FaultMicSensitivity:
+		m := room.Microphone(f.Device)
+		m.ScheduleSensitivityRamp(f.StartS, f.EndS, f.Level)
+		if f.ClearS != 0 {
+			m.ScheduleSensitivityRamp(f.ClearS, f.ClearS+span, 1)
+		}
+	case FaultSpeakerDecay:
+		s := room.Speaker(f.Device)
+		s.ScheduleAmplitudeDecay(f.StartS, f.EndS, f.Level)
+		if f.ClearS != 0 {
+			s.ScheduleAmplitudeDecay(f.ClearS, f.ClearS+span, 1)
+		}
+	case FaultSpeakerDetune:
+		s := room.Speaker(f.Device)
+		s.ScheduleDetune(f.StartS, f.EndS, f.Level)
+		if f.ClearS != 0 {
+			s.ScheduleDetune(f.ClearS, f.ClearS+span, 1)
+		}
+	}
 }

@@ -356,6 +356,95 @@ func TestValidateRejectsBadStreamConfig(t *testing.T) {
 	}
 }
 
+// TestScenarioDeviceFaultsSelfHeal drives the declarative JSON route
+// through the same arc the chaos pipeline proves imperatively: a
+// three-microphone fleet, a noise-ramped mic that is repaired mid-run,
+// and a persistently detuned speaker. The report must carry a Devices
+// section showing the recalibration, the quarantine round-trip, and
+// the re-key — and the heartbeat app must keep hearing its device
+// through the re-key (no false death alert).
+func TestScenarioDeviceFaultsSelfHeal(t *testing.T) {
+	js := `{
+	  "name": "degrading", "seed": 7, "duration_s": 12,
+	  "switches": [{"name": "s1", "x": 1}],
+	  "mics": [{"name": "m1", "y": 1}, {"name": "m2", "y": 2}],
+	  "apps": [{"type": "heartbeat", "switch": "s1", "period_s": 0.3}],
+	  "device_faults": [
+	    {"kind": "mic_noise_ramp", "device": "m1", "start_s": 2, "end_s": 2.5,
+	     "level": 0.5, "clear_s": 6},
+	    {"kind": "speaker_detune", "device": "s1", "start_s": 3, "end_s": 3.5,
+	     "level": 1.04}
+	  ]
+	}`
+	cfg, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Devices) != 4 {
+		t.Fatalf("%d device rows, want 4 (3 mics + 1 speaker): %+v", len(rep.Devices), rep.Devices)
+	}
+	byName := map[string]struct {
+		state                          string
+		recals, quars, rejoins, rekeys uint64
+		quarantined                    bool
+	}{}
+	for _, d := range rep.Devices {
+		byName[d.Kind+"/"+d.Name] = struct {
+			state                          string
+			recals, quars, rejoins, rekeys uint64
+			quarantined                    bool
+		}{d.State, d.Recalibrations, d.Quarantines, d.Rejoins, d.Rekeys, d.Quarantined}
+	}
+	m1 := byName["mic/m1"]
+	if m1.recals == 0 || m1.quars == 0 || m1.rejoins == 0 {
+		t.Errorf("m1 recal=%d quarantines=%d rejoins=%d, want all > 0",
+			m1.recals, m1.quars, m1.rejoins)
+	}
+	if m1.quarantined {
+		t.Error("m1 still quarantined after the repair")
+	}
+	s1 := byName["speaker/s1"]
+	if s1.state != "detuned" || s1.rekeys == 0 {
+		t.Errorf("s1 state=%s rekeys=%d, want detuned with a re-key", s1.state, s1.rekeys)
+	}
+	if rep.Health == nil || rep.Health.StateName != "degraded" {
+		t.Fatalf("health %+v, want degraded (persistent detune)", rep.Health)
+	}
+	for _, a := range rep.Apps {
+		if a.Type == "heartbeat" && len(a.Events) != 0 {
+			t.Errorf("heartbeat alerted through the re-key: %v", a.Events)
+		}
+	}
+}
+
+func TestValidateRejectsBadDeviceConfig(t *testing.T) {
+	cases := map[string]string{
+		"dup mic":         `{"duration_s":1,"switches":[{"name":"s"}],"mics":[{"name":"m"},{"name":"m"}]}`,
+		"reserved mic":    `{"duration_s":1,"switches":[{"name":"s"}],"mics":[{"name":"controller"}]}`,
+		"empty mic":       `{"duration_s":1,"switches":[{"name":"s"}],"mics":[{"name":""}]}`,
+		"neg mic noise":   `{"duration_s":1,"switches":[{"name":"s"}],"mics":[{"name":"m","noise_rms":-1}]}`,
+		"bad fault kind":  `{"duration_s":1,"switches":[{"name":"s"}],"device_faults":[{"kind":"rust","device":"s","start_s":0,"end_s":1,"level":0}]}`,
+		"unknown mic":     `{"duration_s":1,"switches":[{"name":"s"}],"device_faults":[{"kind":"mic_noise_ramp","device":"x","start_s":0,"end_s":1,"level":0.1}]}`,
+		"unknown speaker": `{"duration_s":1,"switches":[{"name":"s"}],"device_faults":[{"kind":"speaker_detune","device":"x","start_s":0,"end_s":1,"level":1.04}]}`,
+		"bad times":       `{"duration_s":1,"switches":[{"name":"s"}],"device_faults":[{"kind":"speaker_decay","device":"s","start_s":1,"end_s":1,"level":0.5}]}`,
+		"neg level":       `{"duration_s":1,"switches":[{"name":"s"}],"device_faults":[{"kind":"speaker_decay","device":"s","start_s":0,"end_s":1,"level":-0.5}]}`,
+		"zero detune":     `{"duration_s":1,"switches":[{"name":"s"}],"device_faults":[{"kind":"speaker_detune","device":"s","start_s":0,"end_s":1,"level":0}]}`,
+		"clear early":     `{"duration_s":1,"switches":[{"name":"s"}],"device_faults":[{"kind":"speaker_decay","device":"s","start_s":0,"end_s":2,"level":0.5,"clear_s":1}]}`,
+		"overlap": `{"duration_s":1,"switches":[{"name":"s"}],"device_faults":[
+			{"kind":"speaker_decay","device":"s","start_s":0,"end_s":2,"level":0.5,"clear_s":3},
+			{"kind":"speaker_decay","device":"s","start_s":4,"end_s":5,"level":0.1}]}`,
+	}
+	for name, js := range cases {
+		if _, err := Load(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestValidateRejectsBadSpreadApp(t *testing.T) {
 	cases := map[string]string{
 		"ddos no buckets": `{"duration_s":1,"switches":[{"name":"s"}],"apps":[{"type":"ddos","switch":"s","watch":"10.0.0.1"}]}`,

@@ -95,6 +95,20 @@ type (
 	// EdgeDedup collapses per-window tone presence into rising-edge
 	// onsets with hysteresis.
 	EdgeDedup = core.EdgeDedup
+	// DeviceMonitor is the self-healing device layer: it fingerprints
+	// microphones and speakers from the windows the controller already
+	// analyses, recalibrates drifting noise floors, quarantines deaf
+	// microphones, re-keys detuned speakers and mutes dead ones (see
+	// Controller.EnableDeviceMonitor).
+	DeviceMonitor = core.DeviceMonitor
+	// DeviceHealth is one device's row in a health snapshot or chaos
+	// report.
+	DeviceHealth = core.DeviceHealth
+	// DeviceState classifies one monitored device.
+	DeviceState = core.DeviceState
+	// MicStats is a read-only snapshot of one microphone's effective
+	// degradation parameters (see acoustic.Room.Microphone).
+	MicStats = acoustic.MicStats
 	// Programmer installs flow rules with retry and idempotency.
 	Programmer = openflow.Programmer
 	// MetricsRegistry names and aggregates pipeline metrics.
@@ -112,6 +126,17 @@ const (
 	Degraded = core.Degraded
 	// Stalled: the control loop is no longer acting on the network.
 	Stalled = core.Stalled
+)
+
+// Device states (see DeviceMonitor). Microphones move between
+// Healthy, Drifting and Deaf; speakers between Healthy, Detuned and
+// Silent.
+const (
+	DeviceHealthy  = core.DeviceHealthy
+	DeviceDrifting = core.DeviceDrifting
+	DeviceDeaf     = core.DeviceDeaf
+	DeviceDetuned  = core.DeviceDetuned
+	DeviceSilent   = core.DeviceSilent
 )
 
 // Spread-detection modes.
