@@ -5,10 +5,11 @@
 // analysis window advances by -hop seconds per step instead of a whole
 // 50 ms window — and the report gains sound-to-detection latency
 // percentiles. With -chaos it instead
-// runs the built-in chaos sweep: the five end-to-end pipelines under a
-// range of injected control-channel fault rates. With -metrics the
-// run's telemetry registry is dumped to stdout after the report, in
-// Prometheus text exposition format.
+// runs the built-in chaos sweep: the end-to-end pipelines under a
+// range of injected control-channel fault rates. With -modem it runs
+// the acoustic data channel's FEC × symbol-corruption sweep. With
+// -metrics the run's telemetry registry is dumped to stdout after the
+// report, in Prometheus text exposition format.
 //
 // Usage:
 //
@@ -20,6 +21,8 @@
 //	mdnsim -chaos -chaos-drops 0,0.3 -chaos-duration 10 -json
 //	mdnsim -chaos -workers 4
 //	mdnsim -chaos -metrics
+//	mdnsim -modem -seed 7
+//	mdnsim -modem -modem-rates 0,0.05 -modem-fecs none,rs_p48 -json
 package main
 
 import (
@@ -45,13 +48,30 @@ func main() {
 		seed     = flag.Int64("seed", 1, "chaos sweep seed")
 		workers  = flag.Int("workers", 0, "chaos sweep worker pool size (0 = GOMAXPROCS, 1 = serial); the report is identical at any setting")
 		metrics  = flag.Bool("metrics", false, "dump the run's telemetry in Prometheus text format after the report")
-		stream   = flag.Bool("stream", false, "run the streaming low-latency detection path (scenario and chaos runs)")
+		stream   = flag.Bool("stream", false, "run the streaming low-latency detection path (scenario, chaos and modem runs)")
 		hop      = flag.Float64("hop", 0, "streaming hop in seconds (default 0.01; must subdivide the 50 ms window into whole samples)")
+		mdm      = flag.Bool("modem", false, "run the modem FEC × symbol-corruption sweep instead of a scenario file")
+		mdmRates = flag.String("modem-rates", "", "comma-separated symbol corruption rates to sweep (default 0,0.02,0.05,0.1)")
+		mdmFECs  = flag.String("modem-fecs", "", "comma-separated FEC schemes to sweep (default none,hamming7_4,rs_p48)")
 	)
 	flag.Parse()
 
 	if *hop != 0 && !*stream {
 		fatal(fmt.Errorf("-hop requires -stream"))
+	}
+	if *chaos && *mdm {
+		fatal(fmt.Errorf("-chaos and -modem are mutually exclusive"))
+	}
+	if *mdm {
+		streamHop := 0.0
+		if *stream {
+			streamHop = *hop
+			if streamHop == 0 {
+				streamHop = scenario.DefaultHopS
+			}
+		}
+		runModemSweep(*seed, *mdmRates, *mdmFECs, streamHop, *workers, *jsonOut)
+		return
 	}
 	if *chaos {
 		streamHop := 0.0
@@ -130,6 +150,37 @@ func runChaos(seed int64, drops string, duration, streamHop float64, workers int
 	}
 	fmt.Print(rep.Table())
 	printMetrics(rep.Metrics, metrics)
+}
+
+func runModemSweep(seed int64, rates, fecs string, streamHop float64, workers int, jsonOut bool) {
+	cfg := scenario.ModemSweepConfig{Seed: seed, Workers: workers, StreamHop: streamHop}
+	if rates != "" {
+		for _, s := range strings.Split(rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fatal(fmt.Errorf("parsing -modem-rates: %w", err))
+			}
+			cfg.CorruptRates = append(cfg.CorruptRates, v)
+		}
+	}
+	if fecs != "" {
+		for _, s := range strings.Split(fecs, ",") {
+			cfg.FECs = append(cfg.FECs, strings.TrimSpace(s))
+		}
+	}
+	rep, err := scenario.RunModemSweep(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(rep.Table())
 }
 
 // printMetrics dumps the telemetry snapshot in Prometheus text format

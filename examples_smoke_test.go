@@ -16,14 +16,15 @@ func TestExamplesSmoke(t *testing.T) {
 		t.Skip("examples smoke test shells out to go run")
 	}
 	cases := map[string]string{
-		"quickstart":  "controller heard",
-		"portknock":   "port opened at",
-		"loadbalance": "congestion tone heard",
-		"fanfailure":  "ALERT: fan failure",
-		"telemetry":   "SCAN ALERT",
-		"ddos":        "DDOS ALERT",
-		"mptcp":       "pi accepted 6 of 7",
-		"relay":       "heard via relay: 5",
+		"quickstart":    "controller heard",
+		"portknock":     "port opened at",
+		"loadbalance":   "congestion tone heard",
+		"fanfailure":    "ALERT: fan failure",
+		"telemetry":     "SCAN ALERT",
+		"ddos":          "DDOS ALERT",
+		"mptcp":         "pi accepted 6 of 7",
+		"relay":         "heard via relay: 5",
+		"acoustic-sync": "flow table synced over sound",
 	}
 	root, err := os.Getwd()
 	if err != nil {

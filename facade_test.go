@@ -142,6 +142,48 @@ func TestFacadeDeviceMonitor(t *testing.T) {
 	}
 }
 
+// TestFacadeModem round-trips one frame through the acoustic data
+// channel using only facade exports.
+func TestFacadeModem(t *testing.T) {
+	tb := NewTestbed(503)
+	_, voice := tb.AddVoicedSwitch("m1", 1, 0)
+
+	cfg := DefaultModemConfig()
+	fec, err := ModemFECByName("rs_p48")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FEC = fec
+	band, err := NewModemBand(ModemPlan(cfg), "m1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := tb.NewController(band.Frequencies())
+	tx := NewModemTransmitter(tb.Sim, band, voice)
+	tx.Corruptor = NewModemCorruptor(0.02, 504)
+	rx := NewModemReceiver(band)
+	ctl.SubscribeWindows(rx.HandleWindow)
+	ctl.Start(0)
+
+	payload := []byte("facade modem frame")
+	end, err := tx.Send(0.5, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Sim.RunUntil(end + 0.5)
+
+	if len(rx.Frames) != 1 {
+		t.Fatalf("frames delivered = %d, want 1", len(rx.Frames))
+	}
+	var fr ModemFrame = rx.Frames[0]
+	if string(fr.Payload) != string(payload) {
+		t.Errorf("payload = %q, want %q", fr.Payload, payload)
+	}
+	var _ ModemFEC = ModemFECNone{}
+	var _ ModemFEC = ModemFECHamming{}
+	var _ ModemFEC = ModemFECRS{}
+}
+
 type fakeRate struct{}
 
 func (fakeRate) SetRate(float64) {}

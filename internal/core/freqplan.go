@@ -125,7 +125,14 @@ func (p *FrequencyPlan) AllocateSpaced(name string, n, stride int) ([]float64, e
 		out[i] = p.slotFreq(slot)
 		p.owner[slot] = slotOwner{name: name, index: i}
 	}
-	p.nextSlot += need
+	// Advance past the allocation including its trailing guard slots,
+	// but never past the band end: guard slots that would fall beyond
+	// the last usable slot don't exist, and counting them would drive
+	// Remaining negative (Capacity 10, nextSlot 8, n=1 stride=4 used
+	// to leave Remaining at −2).
+	if p.nextSlot += need; p.nextSlot > p.Capacity() {
+		p.nextSlot = p.Capacity()
+	}
 	p.sets[name] = out
 	p.order = append(p.order, name)
 	return out, nil

@@ -171,6 +171,36 @@ func TestDefaultPlanShape(t *testing.T) {
 	}
 }
 
+func TestAllocateSpacedTrailingGuardClampsRemaining(t *testing.T) {
+	// Capacity 10 (400..580). Burn 8 slots, then allocate 1 slot with
+	// stride 4: the tone fits in slot 8, but the 3 trailing guard
+	// slots run past the band end. The advance must clamp at the band
+	// end so Remaining reports 0 or 1 usable slot, never a negative.
+	p := NewFrequencyPlan(400, 580, 20)
+	if c := p.Capacity(); c != 10 {
+		t.Fatalf("capacity = %d, want 10", c)
+	}
+	p.MustAllocate("burn", 8)
+	a, err := p.AllocateSpaced("s1", 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 560 {
+		t.Fatalf("allocated %v, want [560]", a)
+	}
+	if r := p.Remaining(); r < 0 {
+		t.Errorf("Remaining = %d after trailing-guard allocation, want >= 0", r)
+	}
+	// Exhausted for spaced allocations but also for plain ones: the
+	// slot after 560's (truncated) guard band is past the band end.
+	if _, err := p.Allocate("s2", 1); err == nil {
+		t.Error("allocation past the band end should fail")
+	}
+	if r := p.Remaining(); r != 0 {
+		t.Errorf("Remaining = %d at exhaustion, want 0", r)
+	}
+}
+
 func TestAllocateSpacedGuardBands(t *testing.T) {
 	p := NewFrequencyPlan(400, 4000, 20)
 	a, err := p.AllocateSpaced("s1", 3, 4) // 400 480 560, burning to 640

@@ -22,8 +22,19 @@ type MelodyCodec struct {
 	haveHi  bool
 	onset   *OnsetFilter
 
-	// Messages holds completed decoded messages.
+	// Messages holds completed decoded messages, bounded like every
+	// other application log: at most MessagesMax entries are kept
+	// (0 means DefaultHistoryMax), oldest evicted first and counted
+	// in MessagesDropped.
 	Messages [][]byte
+	// MessagesMax overrides the Messages bound (0 = DefaultHistoryMax).
+	MessagesMax int
+	// MessagesDropped counts messages evicted by the bound.
+	MessagesDropped uint64
+	// Overflows counts in-progress decodes abandoned because the
+	// channel fed more than MaxMelodyBytes of nibbles without a
+	// terminating start marker (see consume).
+	Overflows uint64
 }
 
 // NewMelodyCodec allocates 17 guard-banded frequencies (start marker
@@ -46,14 +57,30 @@ func (mc *MelodyCodec) Frequencies() []float64 {
 	return out
 }
 
+// MaxMelodyBytes bounds message size on both sides of the channel:
+// long melodies monopolise the sound channel, and the decoder must
+// not grow without limit on a noisy channel that never terminates a
+// message.
+const MaxMelodyBytes = 64
+
 // ErrMelodyTooLong bounds message size: long melodies monopolise the
 // sound channel.
 var ErrMelodyTooLong = errors.New("core: melody message exceeds 64 bytes")
 
+// ErrMelodyEmpty rejects zero-length messages at encode time. An
+// empty message's frame (start,start) is indistinguishable on the air
+// from the terminator of the previous message followed by the opener
+// of the next, so the decoder cannot round-trip it; encoding refuses
+// it rather than silently dropping it on decode.
+var ErrMelodyEmpty = errors.New("core: melody message is empty")
+
 // Encode returns the tone sequence for msg: the start marker, then
 // two tones per byte (high nibble first).
 func (mc *MelodyCodec) Encode(msg []byte) ([]float64, error) {
-	if len(msg) > 64 {
+	if len(msg) == 0 {
+		return nil, ErrMelodyEmpty
+	}
+	if len(msg) > MaxMelodyBytes {
 		return nil, ErrMelodyTooLong
 	}
 	out := make([]float64, 0, 1+2*len(msg))
@@ -113,10 +140,10 @@ func (mc *MelodyCodec) consume(freq float64) {
 			// Complete message terminated by the marker.
 			msg := make([]byte, len(mc.current))
 			copy(msg, mc.current)
-			mc.Messages = append(mc.Messages, msg)
+			mc.Messages = appendBounded(mc.Messages, msg, mc.MessagesMax, &mc.MessagesDropped)
 		}
 		mc.state = 0
-		mc.current = nil
+		mc.current = mc.current[:0]
 		mc.haveHi = false
 		return
 	}
@@ -125,6 +152,18 @@ func (mc *MelodyCodec) consume(freq float64) {
 	}
 	n := mc.nibbleOf(freq)
 	if n < 0 {
+		return
+	}
+	if len(mc.current) >= MaxMelodyBytes {
+		// Decode-side mirror of ErrMelodyTooLong: no conforming sender
+		// produces this, so the start marker must have been lost to
+		// noise and we are concatenating two (or more) messages.
+		// Abandon the hopeless partial instead of growing forever and
+		// wait for the next start marker to re-frame.
+		mc.Overflows++
+		mc.state = -1
+		mc.current = mc.current[:0]
+		mc.haveHi = false
 		return
 	}
 	if !mc.haveHi {

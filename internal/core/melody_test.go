@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -39,6 +40,81 @@ func TestMelodyRejectsOversize(t *testing.T) {
 	}
 	if _, err := mc.Encode(make([]byte, 65)); err != ErrMelodyTooLong {
 		t.Errorf("err = %v, want ErrMelodyTooLong", err)
+	}
+}
+
+func TestMelodyRejectsEmpty(t *testing.T) {
+	// An empty message's frame (start,start) cannot be told apart from
+	// the terminator+opener between two adjacent messages, so encode
+	// rejects it with a typed error instead of letting decode silently
+	// drop it.
+	tb := newTestbed(88)
+	mc, err := NewMelodyCodec(tb.plan, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Encode(nil); err != ErrMelodyEmpty {
+		t.Errorf("Encode(nil) err = %v, want ErrMelodyEmpty", err)
+	}
+	if _, err := mc.Encode([]byte{}); err != ErrMelodyEmpty {
+		t.Errorf("Encode([]) err = %v, want ErrMelodyEmpty", err)
+	}
+}
+
+func TestMelodyDecodeOverflowBounded(t *testing.T) {
+	// A noisy channel that loses every terminating start marker must
+	// not grow the decode state without limit: after MaxMelodyBytes
+	// the partial is abandoned and the decoder waits to re-frame.
+	tb := newTestbed(89)
+	mc, err := NewMelodyCodec(tb.plan, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.consume(mc.start)
+	for i := 0; i < 10*MaxMelodyBytes; i++ {
+		mc.consume(mc.nibbles[i%16])
+		if len(mc.current) > MaxMelodyBytes {
+			t.Fatalf("decode state grew to %d bytes", len(mc.current))
+		}
+	}
+	if mc.Overflows == 0 {
+		t.Error("overflow not counted")
+	}
+	if len(mc.Messages) != 0 {
+		t.Errorf("overflowed stream decoded %d messages", len(mc.Messages))
+	}
+	// The decoder re-frames at the next start marker.
+	msg := []byte{0x5A}
+	tones, _ := mc.Encode(msg)
+	for _, f := range tones {
+		mc.consume(f)
+	}
+	if len(mc.Messages) != 1 || !bytes.Equal(mc.Messages[0], msg) {
+		t.Fatalf("post-overflow decode = %v", mc.Messages)
+	}
+}
+
+func TestMelodyMessagesBounded(t *testing.T) {
+	tb := newTestbed(90)
+	mc, err := NewMelodyCodec(tb.plan, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.MessagesMax = 3
+	for i := 0; i < 5; i++ {
+		tones, _ := mc.Encode([]byte{byte(i)})
+		for _, f := range tones {
+			mc.consume(f)
+		}
+	}
+	if len(mc.Messages) != 3 {
+		t.Fatalf("kept %d messages, want 3", len(mc.Messages))
+	}
+	if mc.Messages[0][0] != 2 || mc.Messages[2][0] != 4 {
+		t.Errorf("kept wrong window: %v", mc.Messages)
+	}
+	if mc.MessagesDropped != 2 {
+		t.Errorf("dropped = %d, want 2", mc.MessagesDropped)
 	}
 }
 
@@ -159,6 +235,141 @@ func TestMelodyTwoMessagesOverAir(t *testing.T) {
 	if !bytes.Equal(mc.Messages[0], m1) || !bytes.Equal(mc.Messages[1], m2) {
 		t.Errorf("decoded %v", mc.Messages)
 	}
+}
+
+// TestMelodyOverAirProperty round-trips randomly generated messages
+// through the full acoustic loop — encode, voice, room, controller,
+// decode — including bytes whose nibbles repeat (0x33, 0x55), which
+// exercise the same-tone pacing and the onset filter's release
+// hysteresis back to back.
+func TestMelodyOverAirProperty(t *testing.T) {
+	tb := newTestbed(88)
+	voice := tb.voiceAt("s1", acoustic.Position{X: 1.5})
+	mc, err := NewMelodyCodec(tb.plan, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := tb.controller(mc.Frequencies())
+	ctrl.Retention = 2
+	ctrl.SubscribeWindows(mc.HandleWindow)
+	ctrl.Start(0)
+
+	rng := rand.New(rand.NewSource(880))
+	var sent [][]byte
+	at := 0.5
+	for trial := 0; trial < 6; trial++ {
+		msg := make([]byte, 1+rng.Intn(4))
+		for i := range msg {
+			msg[i] = byte(rng.Intn(256))
+		}
+		// Force a repeated-nibble byte into every other message.
+		if trial%2 == 0 {
+			msg[rng.Intn(len(msg))] = []byte{0x33, 0x55, 0xAA}[rng.Intn(3)]
+		}
+		end, err := mc.Transmit(voice, at, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent = append(sent, msg)
+		at = end + 1
+	}
+	tb.sim.RunUntil(at + 1)
+
+	if len(mc.Messages) != len(sent) {
+		t.Fatalf("decoded %d messages, want %d (%v)", len(mc.Messages), len(sent), mc.Messages)
+	}
+	for i, msg := range sent {
+		if !bytes.Equal(mc.Messages[i], msg) {
+			t.Errorf("message %d: decoded % x, want % x", i, mc.Messages[i], msg)
+		}
+	}
+}
+
+// TestMelodyOverAirTruncated cuts a transmission mid-message — the
+// tail tones, terminator included, never play — and then sends a
+// fresh message. The codec is unframed beyond the start marker, so a
+// truncation at a byte boundary is indistinguishable from a shorter
+// message; the property is weaker but real: anything delivered for
+// the truncated attempt is a strict prefix of the original, and the
+// next message re-frames and decodes byte-exactly.
+func TestMelodyOverAirTruncated(t *testing.T) {
+	tb := newTestbed(89)
+	voice := tb.voiceAt("s1", acoustic.Position{X: 1.5})
+	mc, err := NewMelodyCodec(tb.plan, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := tb.controller(mc.Frequencies())
+	ctrl.SubscribeWindows(mc.HandleWindow)
+	ctrl.Start(0)
+
+	// Play only the first half of the victim's tone sequence.
+	victim := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	tones, err := mc.Encode(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := voice.MinGap + 0.01
+	cut := len(tones) / 2
+	for i, f := range tones[:cut] {
+		f := f
+		tb.sim.Schedule(0.5+float64(i)*slot, func() { voice.Play(f) })
+	}
+	cutEnd := 0.5 + float64(cut)*slot
+
+	fresh := []byte{0xCA, 0xFE}
+	end, err := mc.Transmit(voice, cutEnd+1, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.sim.RunUntil(end + 1)
+
+	if len(mc.Messages) == 0 {
+		t.Fatal("fresh message after truncation never decoded")
+	}
+	last := mc.Messages[len(mc.Messages)-1]
+	if !bytes.Equal(last, fresh) {
+		t.Errorf("post-truncation message: % x, want % x", last, fresh)
+	}
+	for _, m := range mc.Messages[:len(mc.Messages)-1] {
+		if len(m) >= len(victim) || !bytes.Equal(m, victim[:len(m)]) {
+			t.Errorf("truncated artifact % x is not a strict prefix of % x", m, victim)
+		}
+	}
+}
+
+// FuzzMelodyOverAir fuzzes the full acoustic round trip: any short
+// non-empty payload must come back byte-exact through the simulated
+// room.
+func FuzzMelodyOverAir(f *testing.F) {
+	f.Add([]byte{0x42})
+	f.Add([]byte{0x33, 0x33})
+	f.Add([]byte{0xDE, 0xAD, 0xBE, 0xEF})
+	f.Fuzz(func(t *testing.T, msg []byte) {
+		if len(msg) == 0 || len(msg) > 4 {
+			t.Skip()
+		}
+		tb := newTestbed(90)
+		voice := tb.voiceAt("s1", acoustic.Position{X: 1.5})
+		mc, err := NewMelodyCodec(tb.plan, "s1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl := tb.controller(mc.Frequencies())
+		ctrl.Retention = 2
+		ctrl.SubscribeWindows(mc.HandleWindow)
+		ctrl.Start(0)
+
+		end, err := mc.Transmit(voice, 0.5, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.sim.RunUntil(end + 1)
+
+		if len(mc.Messages) != 1 || !bytes.Equal(mc.Messages[0], msg) {
+			t.Fatalf("sent % x, decoded %v", msg, mc.Messages)
+		}
+	})
 }
 
 func TestMelodyString(t *testing.T) {

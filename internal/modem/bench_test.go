@@ -1,0 +1,132 @@
+package modem
+
+import (
+	"testing"
+
+	"mdn/internal/core"
+)
+
+// BenchmarkModemGoodput measures delivered payload bits per simulated
+// second through the full acoustic loop, per FEC scheme, with the
+// MelodyCodec's pacing-derived rate as the baseline sub-benchmark.
+func BenchmarkModemGoodput(b *testing.B) {
+	for _, fec := range []FEC{FECNone{}, FECHamming{}, FECRS{Parity: DefaultRSParity}} {
+		b.Run(fec.Name(), func(b *testing.B) {
+			var goodput float64
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig()
+				cfg.FEC = fec
+				lb := newLoopback(b, 21, cfg)
+				lb.ctrl.Start(0)
+				payload := make([]byte, 64)
+				for j := range payload {
+					payload[j] = byte(j)
+				}
+				at := 0.5
+				for f := 0; f < 4; f++ {
+					end, err := lb.tx.Send(at, payload)
+					if err != nil {
+						b.Fatal(err)
+					}
+					at = end
+				}
+				lb.sim.RunUntil(at + 0.5)
+				if lb.rx.FramesRx != 4 {
+					b.Fatalf("FramesRx = %d", lb.rx.FramesRx)
+				}
+				goodput = lb.rx.GoodputBps()
+			}
+			b.ReportMetric(goodput, "bits/s")
+		})
+	}
+	b.Run("melody-baseline", func(b *testing.B) {
+		var bps float64
+		for i := 0; i < b.N; i++ {
+			lb := newLoopback(b, 22, DefaultConfig())
+			mc, err := core.NewMelodyCodec(core.DefaultPlan(), "s1")
+			if err != nil {
+				b.Fatal(err)
+			}
+			msg := make([]byte, core.MaxMelodyBytes)
+			tones, err := mc.Encode(msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			slot := core.NewVoice(lb.sim, nil).MinGap + 0.01
+			bps = float64(8*len(msg)) / (float64(len(tones)) * slot)
+		}
+		b.ReportMetric(bps, "bits/s")
+	})
+}
+
+// benchReceiver drives a receiver into locked, header-parsed
+// steady state with synthetic windows, returning it plus a reusable
+// mid-body window.
+func benchReceiver(tb testing.TB) (*Receiver, float64, []core.Detection) {
+	cfg := DefaultConfig()
+	band, err := NewBand(Plan(cfg), "bench", cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rx := NewReceiver(band)
+	T := cfg.SymbolPeriod
+	t0 := 1.0
+	rx.HandleWindow(t0, []core.Detection{
+		{Time: t0, Frequency: band.SyncTone(0), Amplitude: 0.01}})
+	rx.HandleWindow(t0+T, []core.Detection{
+		{Time: t0 + T, Frequency: band.SyncTone(1), Amplitude: 0.01}})
+
+	var hdr [headerBytes * headerCopies]byte
+	encodeHeader(header{PayloadLen: 200, FECID: FECNone{}.ID(), Seq: 0}, hdr[:headerBytes])
+	copy(hdr[headerBytes:], hdr[:headerBytes])
+	hdrE := frameGeometry(cfg, 0).hdrEpochs
+	for he := 0; he < hdrE; he++ {
+		e := 2 + he
+		from := t0 + float64(e)*T
+		dets := make([]core.Detection, 0, cfg.Lanes)
+		for lane := 0; lane < cfg.Lanes; lane++ {
+			val := nibbleOf(hdr[:], he*cfg.Lanes+lane)
+			dets = append(dets, core.Detection{
+				Time: from, Frequency: band.DataTone(e, lane, val), Amplitude: 0.01})
+		}
+		rx.HandleWindow(from, dets)
+	}
+
+	// One mid-body window, reused for every steady-state iteration
+	// (equal window starts are valid: streaming hops may repeat them).
+	e := 2 + hdrE + 4
+	from := t0 + float64(e)*T
+	dets := make([]core.Detection, 0, cfg.Lanes)
+	for lane := 0; lane < cfg.Lanes; lane++ {
+		dets = append(dets, core.Detection{
+			Time: from, Frequency: band.DataTone(e, lane, (lane*5+3)%16), Amplitude: 0.01})
+	}
+	rx.HandleWindow(from, dets) // warm-up: parses the header
+	if !rx.hdrParsed {
+		tb.Fatal("bench receiver failed to parse header")
+	}
+	return rx, from, dets
+}
+
+// TestReceiverWindowAllocs pins the steady-state demodulation path at
+// zero allocations per window.
+func TestReceiverWindowAllocs(t *testing.T) {
+	rx, from, dets := benchReceiver(t)
+	if n := testing.AllocsPerRun(1000, func() {
+		rx.HandleWindow(from, dets)
+	}); n != 0 {
+		t.Fatalf("receiver window path allocates %.1f/op, want 0", n)
+	}
+}
+
+// BenchmarkModemReceiverWindow is the CI gate's measurable twin of
+// TestReceiverWindowAllocs: run with -benchmem, it must report
+// 0 allocs/op.
+func BenchmarkModemReceiverWindow(b *testing.B) {
+	rx, from, dets := benchReceiver(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rx.HandleWindow(from, dets)
+	}
+}

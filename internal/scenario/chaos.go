@@ -28,7 +28,7 @@ import (
 // ChaosReport, so sweeps are replayable evidence, not anecdotes.
 
 // ChaosScenarioNames are the pipelines the harness can run.
-var ChaosScenarioNames = []string{"portknock", "heavyhitter", "loadbalance", "heartbeat", "devicehealth"}
+var ChaosScenarioNames = []string{"portknock", "heavyhitter", "loadbalance", "heartbeat", "devicehealth", "modem"}
 
 // ChaosConfig parameterises a chaos sweep.
 type ChaosConfig struct {
@@ -233,6 +233,7 @@ var chaosScenarios = map[string]chaosRun{
 	"loadbalance":  chaosLoadBalance,
 	"heartbeat":    chaosHeartbeat,
 	"devicehealth": chaosDeviceHealth,
+	"modem":        chaosModem,
 }
 
 // chaosEnv is the one-switch testbed every chaos pipeline shares: a

@@ -5,6 +5,7 @@ import (
 
 	"mdn/internal/acoustic"
 	"mdn/internal/core"
+	"mdn/internal/modem"
 	"mdn/internal/mp"
 	"mdn/internal/netsim"
 	"mdn/internal/openflow"
@@ -109,6 +110,35 @@ type (
 	// MicStats is a read-only snapshot of one microphone's effective
 	// degradation parameters (see acoustic.Room.Microphone).
 	MicStats = acoustic.MicStats
+	// ModemConfig parameterises the acoustic data channel: symbol
+	// period, lanes, FEC scheme.
+	ModemConfig = modem.Config
+	// ModemBand is a modem's allocated tone set (sync pilots plus
+	// per-bank data tones).
+	ModemBand = modem.Band
+	// ModemTransmitter frames payload bytes and schedules their tones
+	// through a switch voice.
+	ModemTransmitter = modem.Transmitter
+	// ModemReceiver demodulates controller windows back into
+	// CRC-verified frames.
+	ModemReceiver = modem.Receiver
+	// ModemFrame is one delivered payload with its sequence number and
+	// delivery time.
+	ModemFrame = modem.Frame
+	// ModemCorruptor is a seeded symbol-corruption fault injector for
+	// the transmit path.
+	ModemCorruptor = modem.Corruptor
+	// ModemFEC is a pluggable forward-error-correction scheme for the
+	// frame body.
+	ModemFEC = modem.FEC
+	// ModemFECNone is the identity scheme (CRC detection only).
+	ModemFECNone = modem.FECNone
+	// ModemFECHamming is interleaved Hamming(7,4) (rate 4/7, corrects
+	// burst-confined corruption).
+	ModemFECHamming = modem.FECHamming
+	// ModemFECRS is Reed-Solomon over GF(256) (corrects Parity/2
+	// corrupted bytes per block at any positions).
+	ModemFECRS = modem.FECRS
 	// Programmer installs flow rules with retry and idempotency.
 	Programmer = openflow.Programmer
 	// MetricsRegistry names and aggregates pipeline metrics.
@@ -308,6 +338,44 @@ func NewFleet(template *Detector, workers int) *Fleet {
 func NewEdgeDedup(n int, threshold float64) *EdgeDedup {
 	return core.NewEdgeDedup(n, threshold)
 }
+
+// DefaultModemConfig returns the default acoustic-data-channel
+// parameters: 50 ms symbols, 4 lanes, no FEC (set Config.FEC to a
+// ModemFECRS or ModemFECHamming for protection).
+func DefaultModemConfig() ModemConfig { return modem.DefaultConfig() }
+
+// ModemPlan returns a frequency plan wide enough for the modem's tone
+// set under the given config — the 400 Hz – 8 kHz DefaultPlan is too
+// narrow for the full 130-tone channel.
+func ModemPlan(cfg ModemConfig) *FrequencyPlan { return modem.Plan(cfg) }
+
+// NewModemBand allocates the modem's sync and data tones from a plan
+// under the given device name.
+func NewModemBand(plan *FrequencyPlan, name string, cfg ModemConfig) (*ModemBand, error) {
+	return modem.NewBand(plan, name, cfg)
+}
+
+// NewModemTransmitter builds a transmitter sending frames through the
+// given switch voice.
+func NewModemTransmitter(sim *netsim.Sim, band *ModemBand, voice *Voice) *ModemTransmitter {
+	return modem.NewTransmitter(sim, band, voice)
+}
+
+// NewModemReceiver builds a receiver for the band; subscribe its
+// HandleWindow to a controller (batch or streaming) and read Frames
+// or register OnFrame.
+func NewModemReceiver(band *ModemBand) *ModemReceiver { return modem.NewReceiver(band) }
+
+// NewModemCorruptor builds a seeded fault injector corrupting each
+// payload symbol with the given probability; assign it to
+// ModemTransmitter.Corruptor.
+func NewModemCorruptor(rate float64, seed int64) *ModemCorruptor {
+	return modem.NewCorruptor(rate, seed)
+}
+
+// ModemFECByName resolves a FEC scheme from its configuration name:
+// "none", "hamming7_4", or "rs_pN" for N parity bytes.
+func ModemFECByName(name string) (ModemFEC, error) { return modem.FECByName(name) }
 
 // NewMetricsRegistry creates an empty metrics registry. Pass it to
 // Controller.Instrument and the applications' Instrument methods,
