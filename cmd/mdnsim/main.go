@@ -8,6 +8,8 @@
 // runs the built-in chaos sweep: the end-to-end pipelines under a
 // range of injected control-channel fault rates. With -modem it runs
 // the acoustic data channel's FEC × symbol-corruption sweep. With
+// With -traffic it runs the exact-vs-sketch analytics sweep over
+// flow-count scales on the pooled traffic engine. With
 // -metrics the run's telemetry registry is dumped to stdout after the
 // report, in Prometheus text exposition format.
 //
@@ -23,6 +25,8 @@
 //	mdnsim -chaos -metrics
 //	mdnsim -modem -seed 7
 //	mdnsim -modem -modem-rates 0,0.05 -modem-fecs none,rs_p48 -json
+//	mdnsim -traffic -seed 7
+//	mdnsim -traffic -traffic-flows 10000,100000 -workers 4 -json
 package main
 
 import (
@@ -53,14 +57,26 @@ func main() {
 		mdm      = flag.Bool("modem", false, "run the modem FEC × symbol-corruption sweep instead of a scenario file")
 		mdmRates = flag.String("modem-rates", "", "comma-separated symbol corruption rates to sweep (default 0,0.02,0.05,0.1)")
 		mdmFECs  = flag.String("modem-fecs", "", "comma-separated FEC schemes to sweep (default none,hamming7_4,rs_p48)")
+		traffic  = flag.Bool("traffic", false, "run the exact-vs-sketch traffic analytics sweep instead of a scenario file")
+		trFlows  = flag.String("traffic-flows", "", "comma-separated flow counts to sweep (default 10000,100000,1000000)")
 	)
 	flag.Parse()
 
 	if *hop != 0 && !*stream {
 		fatal(fmt.Errorf("-hop requires -stream"))
 	}
-	if *chaos && *mdm {
-		fatal(fmt.Errorf("-chaos and -modem are mutually exclusive"))
+	modes := 0
+	for _, m := range []bool{*chaos, *mdm, *traffic} {
+		if m {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fatal(fmt.Errorf("-chaos, -modem and -traffic are mutually exclusive"))
+	}
+	if *traffic {
+		runTrafficSweep(*seed, *trFlows, *workers, *jsonOut, *metrics)
+		return
 	}
 	if *mdm {
 		streamHop := 0.0
@@ -181,6 +197,36 @@ func runModemSweep(seed int64, rates, fecs string, streamHop float64, workers in
 		return
 	}
 	fmt.Print(rep.Table())
+}
+
+func runTrafficSweep(seed int64, flows string, workers int, jsonOut, metrics bool) {
+	cfg := scenario.TrafficSweepConfig{Seed: seed, Workers: workers}
+	if flows != "" {
+		for _, s := range strings.Split(flows, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal(fmt.Errorf("parsing -traffic-flows: %w", err))
+			}
+			cfg.FlowCounts = append(cfg.FlowCounts, v)
+		}
+	}
+	reg := telemetry.New()
+	rep, err := scenario.RunTrafficSweep(cfg, reg)
+	if err != nil {
+		fatal(err)
+	}
+	snap := reg.Snapshot()
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		printMetrics(&snap, metrics)
+		return
+	}
+	fmt.Print(rep.Table())
+	printMetrics(&snap, metrics)
 }
 
 // printMetrics dumps the telemetry snapshot in Prometheus text format

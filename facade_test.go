@@ -203,3 +203,74 @@ func TestFacadeRelay(t *testing.T) {
 	tb.Sim.RunUntil(0.2)
 	relay.Stop()
 }
+
+// TestFacadeSketch exercises the sketch and traffic-engine exports:
+// the counters install through the app seams and the flow set drives
+// a pooled simulator.
+func TestFacadeSketch(t *testing.T) {
+	cms, err := NewCountMin(0.01, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cms.Update(7, 3)
+	if cms.Estimate(7) < 3 {
+		t.Error("count-min underestimated")
+	}
+	hll, err := NewHyperLogLog(12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hll.Add(7)
+	if hll.Estimate() == 0 {
+		t.Error("hll empty after Add")
+	}
+	tk, err := NewTopK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Update(7, 1)
+	if len(tk.Items()) != 1 {
+		t.Errorf("topk items = %d", len(tk.Items()))
+	}
+
+	tb := NewTestbed(502)
+	_, voice := tb.AddVoicedSwitch("sk1", 1, 0)
+	hh, err := NewHeavyHitter(tb.Plan, "sk1", voice, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := NewSketchFlowCounter(0.01, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh.SetFlowCounter(fc)
+	ps, err := NewPortScan(tb.Plan, "sk1", voice, 7000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := NewSketchDistinctCounter(12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.SetDistinctCounter(dc)
+
+	sim := netsim.NewSim()
+	sim.EnablePacketPool()
+	h1 := netsim.NewHost(sim, "h1", netsim.MustAddr("10.0.0.1"))
+	h2 := netsim.NewHost(sim, "h2", netsim.MustAddr("10.0.0.2"))
+	sw := netsim.NewSwitch(sim, "fs1")
+	netsim.Connect(sim, h1, 1, sw, 1, 1e9, 1e-6, 0)
+	netsim.Connect(sim, sw, 2, h2, 1, 1e9, 1e-6, 0)
+	sw.InstallRule(netsim.Rule{Match: netsim.Match{Dst: h2.Addr}, Action: netsim.Output(2)})
+	fs := StartFlowSet(sim, h1, FlowSetConfig{
+		Specs: []FlowSpec{{
+			Flow: netsim.FiveTuple{Src: h1.Addr, Dst: h2.Addr, SrcPort: 1000, DstPort: 80, Proto: netsim.ProtoUDP},
+			PPS:  100,
+		}},
+		Stop: 0.5, Seed: 1,
+	})
+	sim.RunUntil(1)
+	if fs.Sent == 0 {
+		t.Error("flow set sent nothing")
+	}
+}

@@ -25,7 +25,7 @@ type HeavyHitter struct {
 	freqs []float64
 	onset *OnsetFilter
 
-	counts     map[float64]int
+	counter    FlowCounter
 	intervalAt float64
 
 	// HistoryMax bounds Reports and History to the last N entries
@@ -80,9 +80,21 @@ func NewHeavyHitter(plan *FrequencyPlan, switchName string, voice *Voice, bucket
 		voice:     voice,
 		freqs:     freqs,
 		onset:     NewOnsetFilter(),
-		counts:    make(map[float64]int),
+		counter:   NewExactFlowCounter(),
 	}, nil
 }
+
+// SetFlowCounter swaps the per-interval counting store — e.g. a
+// SketchFlowCounter for bounded-memory operation. Call before Start;
+// any accumulated counts stay in the old store.
+func (hh *HeavyHitter) SetFlowCounter(c FlowCounter) {
+	if c != nil {
+		hh.counter = c
+	}
+}
+
+// Counter returns the active counting store.
+func (hh *HeavyHitter) Counter() FlowCounter { return hh.counter }
 
 // Frequencies returns the bucket tones the controller must watch.
 func (hh *HeavyHitter) Frequencies() []float64 {
@@ -113,15 +125,20 @@ func (hh *HeavyHitter) Start(ctrl *Controller, at float64) {
 // HandleWindow consumes one detection window.
 func (hh *HeavyHitter) HandleWindow(_ float64, dets []Detection) {
 	for _, det := range hh.onset.Step(dets) {
-		hh.counts[det.Frequency]++
+		hh.counter.Add(FreqKey(det.Frequency), 1)
 	}
 }
 
 func (hh *HeavyHitter) closeInterval(now float64) {
-	sample := HHSample{Time: now, Counts: make(map[int]int)}
+	sample := HHSample{Time: now}
 	for i, f := range hh.freqs {
-		c := hh.counts[f]
+		c := int(hh.counter.Estimate(FreqKey(f)))
 		if c > 0 {
+			// History retains each interval's map, so quiet intervals
+			// allocate none at all.
+			if sample.Counts == nil {
+				sample.Counts = make(map[int]int)
+			}
 			sample.Counts[i] = c
 		}
 		if c >= hh.Threshold {
@@ -132,7 +149,7 @@ func (hh *HeavyHitter) closeInterval(now float64) {
 		}
 	}
 	hh.History = appendBounded(hh.History, sample, hh.HistoryMax, &hh.HistoryDropped)
-	hh.counts = make(map[float64]int)
+	hh.counter.Reset()
 }
 
 // Instrument exposes the application's counters under
@@ -144,6 +161,7 @@ func (hh *HeavyHitter) Instrument(reg *telemetry.Registry, switchName string) {
 		func() float64 { return float64(hh.events) })
 	reg.Func(appLabels(metricAppHistoryDropped, "heavyhitter", switchName),
 		func() float64 { return float64(hh.HistoryDropped) })
+	instrumentSketchFlow(reg, "heavyhitter", switchName, hh.counter)
 }
 
 // FlaggedBuckets returns the distinct flagged bucket indices, sorted.

@@ -170,6 +170,54 @@ const (
 	metricCongestionDecrease = "mdn_congestion_decreases_total"
 )
 
+// Sketch-analytics metric names. The update/bytes series appear only
+// for sketch-backed counters (exact mode is the historical baseline
+// and stays unmetered); the error histogram is observed wherever an
+// exact oracle runs alongside a sketch (the traffic sweep).
+//
+//	mdn_sketch_updates_total{app,switch} weighted sketch updates
+//	mdn_sketch_bytes{app,switch}         resident sketch state (gauge)
+//	mdn_sketch_estimate_error            relative estimate error vs oracle
+//	mdn_traffic_packets_per_second       traffic-engine forwarding rate (wall)
+//	mdn_traffic_events_per_second        scheduler event rate (wall)
+const (
+	MetricSketchUpdates = "mdn_sketch_updates_total"
+	MetricSketchBytes   = "mdn_sketch_bytes"
+	MetricSketchError   = "mdn_sketch_estimate_error"
+	MetricTrafficPPS    = "mdn_traffic_packets_per_second"
+	MetricTrafficEPS    = "mdn_traffic_events_per_second"
+)
+
+// SketchErrorBuckets are the relative-error bounds for the
+// mdn_sketch_estimate_error histogram.
+var SketchErrorBuckets = []float64{0, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.5, 1}
+
+// instrumentSketchFlow exposes a sketch-backed flow counter's update
+// weight and resident bytes. Exact counters register nothing.
+func instrumentSketchFlow(reg *telemetry.Registry, app, switchName string, c FlowCounter) {
+	sk, ok := c.(*SketchFlowCounter)
+	if !ok {
+		return
+	}
+	reg.Func(appLabels(MetricSketchUpdates, app, switchName),
+		func() float64 { return float64(sk.Updates()) })
+	reg.Func(appLabels(MetricSketchBytes, app, switchName),
+		func() float64 { return float64(sk.Bytes()) })
+}
+
+// instrumentSketchDistinct is instrumentSketchFlow for distinct
+// counters.
+func instrumentSketchDistinct(reg *telemetry.Registry, app, switchName string, c DistinctCounter) {
+	sk, ok := c.(*SketchDistinctCounter)
+	if !ok {
+		return
+	}
+	reg.Func(appLabels(MetricSketchUpdates, app, switchName),
+		func() float64 { return float64(sk.Updates()) })
+	reg.Func(appLabels(MetricSketchBytes, app, switchName),
+		func() float64 { return float64(sk.Bytes()) })
+}
+
 // appLabels renders the standard app/switch label pair.
 func appLabels(metric, app, switchName string) string {
 	return telemetry.Label(metric, "app", app, "switch", switchName)

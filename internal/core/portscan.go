@@ -25,8 +25,8 @@ type PortScan struct {
 	freqs []float64
 	onset *OnsetFilter
 
-	seen    map[float64]bool
-	alerted bool // alert already raised in the current interval
+	distinct DistinctCounter
+	alerted  bool // alert already raised in the current interval
 
 	// HistoryMax bounds Alerts and Sweep to the last N entries each
 	// (0 means DefaultHistoryMax).
@@ -68,9 +68,21 @@ func NewPortScan(plan *FrequencyPlan, switchName string, voice *Voice, firstPort
 		voice:     voice,
 		freqs:     freqs,
 		onset:     NewOnsetFilter(),
-		seen:      make(map[float64]bool),
+		distinct:  NewExactDistinctCounter(),
 	}, nil
 }
+
+// SetDistinctCounter swaps the distinct-port store — e.g. a
+// SketchDistinctCounter for bounded-memory operation. Call before
+// Start.
+func (ps *PortScan) SetDistinctCounter(c DistinctCounter) {
+	if c != nil {
+		ps.distinct = c
+	}
+}
+
+// DistinctCounter returns the active distinct-port store.
+func (ps *PortScan) DistinctCounter() DistinctCounter { return ps.distinct }
 
 // Frequencies returns the monitored port tones.
 func (ps *PortScan) Frequencies() []float64 {
@@ -123,20 +135,20 @@ func (ps *PortScan) HandleWindow(_ float64, dets []Detection) {
 		if _, ok := ps.PortFor(det.Frequency); !ok {
 			continue
 		}
-		ps.seen[det.Frequency] = true
+		ps.distinct.Observe(FreqKey(det.Frequency))
 		ps.Sweep = appendBounded(ps.Sweep, det, ps.HistoryMax, &ps.HistoryDropped)
-		if len(ps.seen) >= ps.Threshold && !ps.alerted {
+		if d := ps.distinct.Distinct(); d >= ps.Threshold && !ps.alerted {
 			ps.alerted = true
 			ps.events++
 			ps.Alerts = appendBounded(ps.Alerts, ScanAlert{
-				Time: det.Time, DistinctPorts: len(ps.seen),
+				Time: det.Time, DistinctPorts: d,
 			}, ps.HistoryMax, &ps.HistoryDropped)
 		}
 	}
 }
 
 func (ps *PortScan) closeInterval(_ float64) {
-	ps.seen = make(map[float64]bool)
+	ps.distinct.Reset()
 	ps.alerted = false
 }
 
@@ -149,6 +161,7 @@ func (ps *PortScan) Instrument(reg *telemetry.Registry, switchName string) {
 		func() float64 { return float64(ps.events) })
 	reg.Func(appLabels(metricAppHistoryDropped, "portscan", switchName),
 		func() float64 { return float64(ps.HistoryDropped) })
+	instrumentSketchDistinct(reg, "portscan", switchName, ps.distinct)
 }
 
 // SweepIsMonotone reports whether the recorded sweep's frequencies

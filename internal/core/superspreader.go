@@ -60,7 +60,7 @@ type SpreadDetector struct {
 	freqs []float64
 	onset *OnsetFilter
 
-	seen map[float64]bool
+	distinct DistinctCounter
 
 	// HistoryMax bounds Alerts and History to the last N entries each
 	// (0 means DefaultHistoryMax).
@@ -102,9 +102,21 @@ func NewSpreadDetector(plan *FrequencyPlan, switchName string, voice *Voice, mod
 		voice:    voice,
 		freqs:    freqs,
 		onset:    NewOnsetFilter(),
-		seen:     make(map[float64]bool),
+		distinct: NewExactDistinctCounter(),
 	}, nil
 }
+
+// SetDistinctCounter swaps the distinct-bucket store — e.g. a
+// SketchDistinctCounter for bounded-memory operation. Call before
+// Start.
+func (sd *SpreadDetector) SetDistinctCounter(c DistinctCounter) {
+	if c != nil {
+		sd.distinct = c
+	}
+}
+
+// DistinctCounter returns the active distinct-bucket store.
+func (sd *SpreadDetector) DistinctCounter() DistinctCounter { return sd.distinct }
 
 // Frequencies returns the bucket tones the controller must watch.
 func (sd *SpreadDetector) Frequencies() []float64 {
@@ -162,7 +174,7 @@ func (sd *SpreadDetector) HandleWindow(_ float64, dets []Detection) {
 	for _, det := range sd.onset.Step(dets) {
 		for _, f := range sd.freqs {
 			if f == det.Frequency {
-				sd.seen[f] = true
+				sd.distinct.Observe(FreqKey(f))
 				break
 			}
 		}
@@ -170,7 +182,7 @@ func (sd *SpreadDetector) HandleWindow(_ float64, dets []Detection) {
 }
 
 func (sd *SpreadDetector) closeInterval(now float64) {
-	distinct := len(sd.seen)
+	distinct := sd.distinct.Distinct()
 	sd.History = appendBounded(sd.History, netsim.Sample{Time: now, Value: float64(distinct)},
 		sd.HistoryMax, &sd.HistoryDropped)
 	if distinct > sd.K {
@@ -178,7 +190,7 @@ func (sd *SpreadDetector) closeInterval(now float64) {
 		sd.Alerts = appendBounded(sd.Alerts, SpreadAlert{Time: now, Distinct: distinct},
 			sd.HistoryMax, &sd.HistoryDropped)
 	}
-	sd.seen = make(map[float64]bool)
+	sd.distinct.Reset()
 }
 
 // Instrument exposes the detector's counters under
@@ -191,4 +203,5 @@ func (sd *SpreadDetector) Instrument(reg *telemetry.Registry, switchName string)
 		func() float64 { return float64(sd.events) })
 	reg.Func(appLabels(metricAppHistoryDropped, app, switchName),
 		func() float64 { return float64(sd.HistoryDropped) })
+	instrumentSketchDistinct(reg, app, switchName, sd.distinct)
 }

@@ -17,13 +17,16 @@ func (p *Port) SetDown(down bool) {
 		p.peer.down = down
 	}
 	if down {
-		// Drain the output queue: frames on a dead wire are lost.
-		for p.Out.Pop() != nil {
+		// Drain the output queues: frames on a dead wire are lost
+		// (and recycled if pool-born).
+		for pkt := p.Out.Pop(); pkt != nil; pkt = p.Out.Pop() {
 			p.lostOnDown++
+			p.sim.releasePacket(pkt)
 		}
 		if p.peer != nil {
-			for p.peer.Out.Pop() != nil {
+			for pkt := p.peer.Out.Pop(); pkt != nil; pkt = p.peer.Out.Pop() {
 				p.peer.lostOnDown++
+				p.peer.sim.releasePacket(pkt)
 			}
 		}
 	}

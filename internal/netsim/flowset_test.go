@@ -1,0 +1,299 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// flowSetTopoFull builds the canonical h1 -> s1 -> h2 topology used by
+// the flow-set and pool tests.
+func flowSetTopoFull(t testing.TB, pool bool) (*Sim, *Host, *Host) {
+	t.Helper()
+	sim := NewSim()
+	if pool {
+		sim.EnablePacketPool()
+	}
+	h1 := NewHost(sim, "h1", MustAddr("10.0.0.1"))
+	h2 := NewHost(sim, "h2", MustAddr("10.0.0.2"))
+	sw := NewSwitch(sim, "s1")
+	Connect(sim, h1, 1, sw, 1, 1e9, 1e-6, 0)
+	Connect(sim, sw, 2, h2, 1, 1e9, 1e-6, 0)
+	sw.InstallRule(Rule{Match: Match{Dst: h2.Addr}, Action: Output(2)})
+	return sim, h1, h2
+}
+
+func flowSpecs(n int, pps float64) []FlowSpec {
+	specs := make([]FlowSpec, n)
+	for i := range specs {
+		specs[i] = FlowSpec{
+			Flow: FiveTuple{
+				Src: MustAddr("10.0.0.1"), Dst: MustAddr("10.0.0.2"),
+				SrcPort: uint16(1024 + i), DstPort: 80, Proto: ProtoUDP,
+			},
+			PPS:  pps,
+			Size: 200,
+		}
+	}
+	return specs
+}
+
+// TestFlowSetCBRCounts: each flow paces at its rate, so a 1-second run
+// emits ~pps packets per flow (phase jitter trims at most one).
+func TestFlowSetCBRCounts(t *testing.T) {
+	sim, h1, h2 := flowSetTopoFull(t, true)
+	if fs := StartFlowSet(sim, h1, FlowSetConfig{}); fs.Active() != 0 {
+		t.Fatalf("empty flow set active = %d", fs.Active())
+	}
+	const n, pps = 50, 100.0
+	fs := StartFlowSet(sim, h1, FlowSetConfig{
+		Specs: flowSpecs(n, pps), Start: 0, Stop: 1, Seed: 7,
+	})
+	sim.RunUntil(2)
+	want := uint64(n * pps)
+	if fs.Sent < want-uint64(n) || fs.Sent > want {
+		t.Fatalf("sent %d packets, want about %d", fs.Sent, want)
+	}
+	if h2.RxPackets != fs.Sent {
+		t.Fatalf("received %d != sent %d", h2.RxPackets, fs.Sent)
+	}
+	if fs.Active() != 0 {
+		t.Fatalf("%d flows still active after stop time", fs.Active())
+	}
+}
+
+// TestFlowSetDeterministic: same seed, same packet count and receive
+// byte count; different seed shifts the phase jitter.
+func TestFlowSetDeterministic(t *testing.T) {
+	run := func(seed int64, poisson bool) (uint64, uint64) {
+		sim, h1, h2 := flowSetTopoFull(t, true)
+		fs := StartFlowSet(sim, h1, FlowSetConfig{
+			Specs: flowSpecs(20, 50), Start: 0, Stop: 2, Seed: seed, Poisson: poisson,
+		})
+		sim.RunUntil(3)
+		return fs.Sent, h2.RxBytes
+	}
+	for _, poisson := range []bool{false, true} {
+		aSent, aBytes := run(11, poisson)
+		bSent, bBytes := run(11, poisson)
+		if aSent != bSent || aBytes != bBytes {
+			t.Fatalf("poisson=%v: same seed diverged: (%d,%d) vs (%d,%d)",
+				poisson, aSent, aBytes, bSent, bBytes)
+		}
+		if aSent == 0 {
+			t.Fatalf("poisson=%v: no packets emitted", poisson)
+		}
+	}
+}
+
+// TestFlowSetPoissonRate: exponential pacing converges on the mean
+// rate over a long window.
+func TestFlowSetPoissonRate(t *testing.T) {
+	sim, h1, _ := flowSetTopoFull(t, true)
+	const n, pps, dur = 10, 200.0, 10.0
+	fs := StartFlowSet(sim, h1, FlowSetConfig{
+		Specs: flowSpecs(n, pps), Start: 0, Stop: dur, Seed: 3, Poisson: true,
+	})
+	sim.RunUntil(dur + 1)
+	want := n * pps * dur
+	if got := float64(fs.Sent); got < 0.9*want || got > 1.1*want {
+		t.Fatalf("poisson emitted %.0f packets, want about %.0f", got, want)
+	}
+}
+
+// TestFlowSetSingleEvent: the whole batch keeps exactly one scheduler
+// event pending, however many flows it drives.
+func TestFlowSetSingleEvent(t *testing.T) {
+	sim, h1, _ := flowSetTopoFull(t, true)
+	StartFlowSet(sim, h1, FlowSetConfig{Specs: flowSpecs(1000, 10), Start: 0, Stop: 5, Seed: 1})
+	if got := sim.Pending(); got != 1 {
+		t.Fatalf("flow set pends %d events, want 1", got)
+	}
+	sim.RunUntil(0.5)
+	// Mid-run: the one re-armed step event plus any in-flight
+	// tx/deliver events; the step event itself never multiplies.
+	if got := sim.Pending(); got > 4 {
+		t.Fatalf("flow set pends %d events mid-run", got)
+	}
+}
+
+func TestFlowSetStop(t *testing.T) {
+	sim, h1, _ := flowSetTopoFull(t, true)
+	fs := StartFlowSet(sim, h1, FlowSetConfig{Specs: flowSpecs(5, 100), Start: 0, Stop: 10, Seed: 1})
+	sim.RunUntil(1)
+	atStop := fs.Sent
+	fs.Stop()
+	sim.RunUntil(10)
+	if fs.Sent != atStop {
+		t.Fatalf("stopped flow set kept emitting: %d -> %d", atStop, fs.Sent)
+	}
+}
+
+// TestPacketPoolRecycles: with the pool on, a long run recycles a
+// bounded working set instead of allocating per packet.
+func TestPacketPoolRecycles(t *testing.T) {
+	sim, h1, h2 := flowSetTopoFull(t, true)
+	fs := StartFlowSet(sim, h1, FlowSetConfig{Specs: flowSpecs(10, 1000), Start: 0, Stop: 2, Seed: 5})
+	sim.RunUntil(3)
+	if fs.Sent < 10000 {
+		t.Fatalf("sent only %d", fs.Sent)
+	}
+	if h2.RxPackets != fs.Sent {
+		t.Fatalf("rx %d != sent %d", h2.RxPackets, fs.Sent)
+	}
+	if sim.PacketsPooled == 0 {
+		t.Fatal("pool never recycled a packet")
+	}
+	if sim.PacketsAllocated > 64 {
+		t.Fatalf("allocated %d fresh packets for a bounded in-flight window", sim.PacketsAllocated)
+	}
+}
+
+// TestPacketPoolDisabledByDefault preserves the historical behaviour:
+// hand-built sims never see recycled pointers.
+func TestPacketPoolDisabledByDefault(t *testing.T) {
+	sim, h1, h2 := flowSetTopoFull(t, false)
+	var seen map[*Packet]bool
+	h2.OnReceive = func(pkt *Packet) {
+		if seen == nil {
+			seen = make(map[*Packet]bool)
+		}
+		if seen[pkt] {
+			t.Fatal("pointer reused without pool")
+		}
+		seen[pkt] = true
+	}
+	StartFlowSet(sim, h1, FlowSetConfig{Specs: flowSpecs(4, 100), Start: 0, Stop: 1, Seed: 2})
+	sim.RunUntil(2)
+	if sim.PacketsPooled != 0 {
+		t.Fatalf("pooled %d packets with pool disabled", sim.PacketsPooled)
+	}
+}
+
+// TestPacketPoolFloodCopies: flood copies must survive the original's
+// release — each egress owns an independent packet.
+func TestPacketPoolFloodCopies(t *testing.T) {
+	sim := NewSim()
+	sim.EnablePacketPool()
+	h1 := NewHost(sim, "h1", MustAddr("10.0.0.1"))
+	h2 := NewHost(sim, "h2", MustAddr("10.0.0.2"))
+	h3 := NewHost(sim, "h3", MustAddr("10.0.0.3"))
+	sw := NewSwitch(sim, "s1")
+	Connect(sim, h1, 1, sw, 1, 1e9, 1e-6, 0)
+	Connect(sim, sw, 2, h2, 1, 1e9, 1e-6, 0)
+	Connect(sim, sw, 3, h3, 1, 1e9, 1e-6, 0)
+	sw.InstallRule(Rule{Action: Action{Kind: ActionFlood}})
+	flow := FiveTuple{Src: h1.Addr, Dst: h2.Addr, SrcPort: 1, DstPort: 2, Proto: ProtoUDP}
+	for i := 0; i < 100; i++ {
+		h1.Send(flow, 100)
+	}
+	sim.Run()
+	if h2.RxPackets != 100 || h3.RxPackets != 100 {
+		t.Fatalf("flood delivered %d/%d, want 100/100", h2.RxPackets, h3.RxPackets)
+	}
+}
+
+// TestQueueRingWraps exercises Pop/Push across the ring boundary.
+func TestQueueRingWraps(t *testing.T) {
+	var q Queue
+	next := uint64(0)
+	popped := uint64(0)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 7; i++ {
+			q.Push(&Packet{ID: next})
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			p := q.Pop()
+			if p == nil || p.ID != popped {
+				t.Fatalf("round %d: popped %v, want ID %d", round, p, popped)
+			}
+			popped++
+		}
+	}
+	if q.Len() != 200 {
+		t.Fatalf("len = %d, want 200", q.Len())
+	}
+	for q.Len() > 0 {
+		if p := q.Pop(); p.ID != popped {
+			t.Fatalf("drain popped %d, want %d", p.ID, popped)
+		} else {
+			popped++
+		}
+	}
+	if popped != next {
+		t.Fatalf("popped %d of %d", popped, next)
+	}
+}
+
+// TestTrafficSteadyStateAllocs is the engine's headline gate: once the
+// pool and heaps are warm, pushing a packet host -> switch -> host
+// allocates nothing.
+func TestTrafficSteadyStateAllocs(t *testing.T) {
+	sim, h1, _ := flowSetTopoFull(t, true)
+	StartFlowSet(sim, h1, FlowSetConfig{Specs: flowSpecs(64, 1000), Start: 0, Stop: 1e6, Seed: 9})
+	sim.RunUntil(1) // warm pool, event heap, queue rings
+	target := 1.0
+	allocs := testing.AllocsPerRun(2000, func() {
+		target += 1e-3
+		sim.RunUntil(target)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state traffic allocates %.2f/op", allocs)
+	}
+}
+
+// TestSchedulerSteadyStateAllocs: scheduling and dispatching a typed
+// event on a warm heap is allocation-free.
+func TestSchedulerSteadyStateAllocs(t *testing.T) {
+	sim := NewSim()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		sim.Schedule(float64(i), fn)
+	}
+	sim.Run()
+	allocs := testing.AllocsPerRun(2000, func() {
+		sim.Schedule(sim.Now()+1, fn)
+		sim.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state scheduling allocates %.2f/op", allocs)
+	}
+}
+
+// BenchmarkScheduler measures one schedule+dispatch round trip on a
+// warm heap. CI gates it at 0 allocs/op.
+func BenchmarkScheduler(b *testing.B) {
+	sim := NewSim()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		sim.Schedule(float64(i), fn)
+	}
+	sim.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Schedule(sim.Now()+1, fn)
+		sim.Run()
+	}
+}
+
+// BenchmarkTrafficDrive measures the full per-packet forwarding path
+// (flow-set emit -> host send -> switch lookup -> deliver) with the
+// packet pool on. CI gates it at 0 allocs/op.
+func BenchmarkTrafficDrive(b *testing.B) {
+	sim, h1, h2 := flowSetTopoFull(b, true)
+	const totalPPS = 256 * 1000.0
+	StartFlowSet(sim, h1, FlowSetConfig{Specs: flowSpecs(256, 1000), Start: 0, Stop: 1e9, Seed: 13})
+	sim.RunUntil(1) // warm
+	dt := 1 / totalPPS
+	target := 1.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target += dt
+		sim.RunUntil(target)
+	}
+	b.StopTimer()
+	if h2.RxPackets == 0 {
+		b.Fatal("no traffic flowed")
+	}
+}

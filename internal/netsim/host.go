@@ -73,6 +73,9 @@ func (h *Host) Receive(pkt *Packet, _ int) {
 	if h.OnReceive != nil {
 		h.OnReceive(pkt)
 	}
+	// Delivery is the end of the packet's life; recycle it. With the
+	// pool enabled, OnReceive must not retain the pointer.
+	h.sim.releasePacket(pkt)
 }
 
 // TrackLatency starts recording each delivered packet's one-way delay
@@ -94,12 +97,12 @@ func (h *Host) Send(flow FiveTuple, size int) {
 	h.nextPktID++
 	h.TxPackets++
 	h.TxBytes += uint64(size)
-	h.port.Send(&Packet{
-		ID:        h.nextPktID,
-		Flow:      flow,
-		Size:      size,
-		CreatedAt: h.sim.Now(),
-	})
+	pkt := h.sim.newPacket()
+	pkt.ID = h.nextPktID
+	pkt.Flow = flow
+	pkt.Size = size
+	pkt.CreatedAt = h.sim.Now()
+	h.port.Send(pkt)
 }
 
 // SampleGoodput records cumulative received bytes every interval

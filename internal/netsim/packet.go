@@ -70,6 +70,12 @@ type Packet struct {
 	// still governs timing; Payload is opaque to the forwarding
 	// plane.
 	Payload []byte
+
+	// pooled marks packets born from the simulator's free list
+	// (EnablePacketPool); only those return to it on release.
+	// Hand-built packets stay false and are garbage collected as
+	// usual.
+	pooled bool
 }
 
 // MustAddr parses a dotted-quad address, panicking on error; for

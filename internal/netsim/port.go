@@ -10,20 +10,25 @@ type Node interface {
 
 // Queue is a drop-tail FIFO of packets with a fixed capacity,
 // counting drops and tracking a high-water mark. Its occupancy is what
-// the paper's switches translate into queue tones (Section 6).
+// the paper's switches translate into queue tones (Section 6). The
+// buffer is a ring: pushes and pops recycle the same backing array, so
+// a steady-state queue allocates nothing (the old slice-slide
+// implementation leaked capacity forward and reallocated under
+// sustained load).
 type Queue struct {
 	// Capacity is the maximum number of queued packets; zero means
 	// unbounded.
 	Capacity int
 
-	pkts      []*Packet
+	buf       []*Packet
+	head, n   int
 	drops     uint64
 	enqueued  uint64
 	highWater int
 }
 
 // Len returns the current occupancy in packets.
-func (q *Queue) Len() int { return len(q.pkts) }
+func (q *Queue) Len() int { return q.n }
 
 // Drops returns the number of packets rejected by a full queue.
 func (q *Queue) Drops() uint64 { return q.drops }
@@ -36,26 +41,45 @@ func (q *Queue) HighWater() int { return q.highWater }
 
 // Push appends a packet, reporting whether it was accepted.
 func (q *Queue) Push(p *Packet) bool {
-	if q.Capacity > 0 && len(q.pkts) >= q.Capacity {
+	if q.Capacity > 0 && q.n >= q.Capacity {
 		q.drops++
 		return false
 	}
-	q.pkts = append(q.pkts, p)
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
 	q.enqueued++
-	if len(q.pkts) > q.highWater {
-		q.highWater = len(q.pkts)
+	if q.n > q.highWater {
+		q.highWater = q.n
 	}
 	return true
 }
 
+// grow doubles the ring, unwrapping it into the new array.
+func (q *Queue) grow() {
+	size := 2 * len(q.buf)
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]*Packet, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
+}
+
 // Pop removes and returns the head packet, or nil when empty.
 func (q *Queue) Pop() *Packet {
-	if len(q.pkts) == 0 {
+	if q.n == 0 {
 		return nil
 	}
-	p := q.pkts[0]
-	q.pkts[0] = nil
-	q.pkts = q.pkts[1:]
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
 	return p
 }
 
@@ -75,10 +99,13 @@ type Port struct {
 	// Out is the output queue feeding the transmitter.
 	Out Queue
 
-	sim        *Sim
-	peer       *Port
-	busy       bool
-	down       bool
+	sim  *Sim
+	peer *Port
+	busy bool
+	down bool
+	// inFlight is the packet currently being serialised (between
+	// transmitNext and txDone).
+	inFlight   *Packet
 	lostOnDown uint64
 }
 
@@ -89,11 +116,15 @@ func (p *Port) Peer() *Port { return p.peer }
 // Send enqueues a packet for transmission; if the queue is full the
 // packet is dropped (counted in Out.Drops). Transmission is
 // store-and-forward: serialisation delay Size*8/RateBps, then Latency.
+// Send takes ownership of the packet: dropped packets return to the
+// simulator's pool.
 func (p *Port) Send(pkt *Packet) {
 	if p.peer == nil || p.down {
-		return // unplugged or downed port: packet vanishes
+		p.sim.releasePacket(pkt) // unplugged or downed port: packet vanishes
+		return
 	}
 	if !p.Out.Push(pkt) {
+		p.sim.releasePacket(pkt)
 		return
 	}
 	if !p.busy {
@@ -101,6 +132,10 @@ func (p *Port) Send(pkt *Packet) {
 	}
 }
 
+// transmitNext starts serialising the head-of-queue packet. The two
+// steps of the traversal — wire free at the end of serialisation,
+// arrival after propagation — are typed events, so the per-packet path
+// schedules no closures.
 func (p *Port) transmitNext() {
 	pkt := p.Out.Pop()
 	if pkt == nil {
@@ -112,18 +147,26 @@ func (p *Port) transmitNext() {
 	if p.RateBps > 0 {
 		tx = float64(pkt.Size) * 8 / p.RateBps
 	}
-	peer := p.peer
-	latency := p.Latency
-	p.sim.After(tx, func() {
-		// Wire is free again: start the next packet.
-		p.transmitNext()
-		p.sim.After(latency, func() {
-			if p.down {
-				return // link died while the frame was in flight
-			}
-			peer.Owner.Receive(pkt, peer.Index)
-		})
-	})
+	p.inFlight = pkt
+	p.sim.scheduleTxDone(p.sim.now+tx, p)
+}
+
+// txDone fires when the wire finishes serialising: the frame enters
+// propagation and the next queued packet starts.
+func (p *Port) txDone() {
+	pkt := p.inFlight
+	p.inFlight = nil
+	p.sim.scheduleDeliver(p.sim.now+p.Latency, p, pkt)
+	p.transmitNext()
+}
+
+// deliver lands a frame at the far end.
+func (p *Port) deliver(pkt *Packet) {
+	if p.down {
+		p.sim.releasePacket(pkt) // link died while the frame was in flight
+		return
+	}
+	p.peer.Owner.Receive(pkt, p.peer.Index)
 }
 
 // Connect wires two nodes with a full-duplex link of the given rate

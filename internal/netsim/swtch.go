@@ -297,6 +297,7 @@ func (s *Switch) Receive(pkt *Packet, inPort int) {
 	pkt.Hops++
 	if pkt.Hops > MaxHops {
 		s.LoopDrops++
+		s.sim.releasePacket(pkt)
 		return
 	}
 	if s.Tap != nil {
@@ -306,8 +307,12 @@ func (s *Switch) Receive(pkt *Packet, inPort int) {
 	if rule == nil {
 		s.TableMisses++
 		if s.MissToController && s.PacketIn != nil {
+			// The handler may re-inject the packet (install a rule and
+			// resend), so ownership transfers to it: no release here.
 			s.PacketIn(s, pkt, inPort)
+			return
 		}
+		s.sim.releasePacket(pkt)
 		return
 	}
 	rule.Packets++
@@ -315,33 +320,47 @@ func (s *Switch) Receive(pkt *Packet, inPort int) {
 	rule.lastHitAt = s.sim.Now()
 	switch rule.Action.Kind {
 	case ActionDrop:
+		s.sim.releasePacket(pkt)
 	case ActionOutput:
 		if len(rule.Action.Ports) > 0 {
 			s.sendOut(rule.Action.Ports[0], pkt)
+		} else {
+			s.sim.releasePacket(pkt)
 		}
 	case ActionSplit:
 		if n := len(rule.Action.Ports); n > 0 {
 			port := rule.Action.Ports[rule.rrNext%n]
 			rule.rrNext++
 			s.sendOut(port, pkt)
+		} else {
+			s.sim.releasePacket(pkt)
 		}
 	case ActionHashSplit:
 		if n := len(rule.Action.Ports); n > 0 {
 			port := rule.Action.Ports[pkt.Flow.Hash()%uint64(n)]
 			s.sendOut(port, pkt)
+		} else {
+			s.sim.releasePacket(pkt)
 		}
 	case ActionFlood:
 		for _, n := range s.Ports() {
 			if n != inPort {
 				// Each egress gets its own copy so per-copy Hops
-				// accounting stays independent.
+				// accounting stays independent. Copies are not pool
+				// members: the original alone returns to the free
+				// list.
 				cp := *pkt
+				cp.pooled = false
 				s.sendOut(n, &cp)
 			}
 		}
+		s.sim.releasePacket(pkt)
 	case ActionController:
 		if s.PacketIn != nil {
+			// As with table misses, the handler owns the packet.
 			s.PacketIn(s, pkt, inPort)
+		} else {
+			s.sim.releasePacket(pkt)
 		}
 	}
 }

@@ -152,7 +152,30 @@ type AppConfig struct {
 	// ddos (the protected host) / superspreader (the suspect host):
 	// the address under watch.
 	Watch string `json:"watch,omitempty"`
+
+	// Analytics selects the counting store behind the detection apps:
+	// "" or "exact" keeps the exact per-interval maps (the accuracy
+	// baseline); "sketch" bounds memory with a count-min sketch
+	// (heavyhitter) or HyperLogLog (portscan, ddos, superspreader),
+	// seeded from the scenario seed so runs replay exactly.
+	Analytics string `json:"analytics,omitempty"`
+	// SketchEpsilon is the count-min relative error budget (0 means
+	// DefaultSketchEpsilon). Only with analytics="sketch".
+	SketchEpsilon float64 `json:"sketch_epsilon,omitempty"`
+	// SketchDelta is the count-min error-bound failure probability
+	// (0 means DefaultSketchDelta). Only with analytics="sketch".
+	SketchDelta float64 `json:"sketch_delta,omitempty"`
+	// SketchPrecision is the HyperLogLog precision p, registers=2^p
+	// (0 means DefaultSketchPrecision). Only with analytics="sketch".
+	SketchPrecision int `json:"sketch_precision,omitempty"`
 }
+
+// Default sketch knobs for analytics="sketch" apps.
+const (
+	DefaultSketchEpsilon   = 0.01
+	DefaultSketchDelta     = 0.01
+	DefaultSketchPrecision = 12
+)
 
 // TrafficConfig runs one generator.
 type TrafficConfig struct {
@@ -333,6 +356,24 @@ func (c *Config) Validate() error {
 			}
 		default:
 			return fmt.Errorf("scenario: unknown app type %q", a.Type)
+		}
+		switch a.Analytics {
+		case "", "exact":
+			if a.SketchEpsilon != 0 || a.SketchDelta != 0 || a.SketchPrecision != 0 {
+				return fmt.Errorf("scenario: app %d sets sketch knobs without analytics=\"sketch\"", i)
+			}
+		case "sketch":
+			if a.SketchEpsilon < 0 || a.SketchEpsilon >= 1 {
+				return fmt.Errorf("scenario: app %d sketch_epsilon %g outside (0, 1)", i, a.SketchEpsilon)
+			}
+			if a.SketchDelta < 0 || a.SketchDelta >= 1 {
+				return fmt.Errorf("scenario: app %d sketch_delta %g outside (0, 1)", i, a.SketchDelta)
+			}
+			if a.SketchPrecision != 0 && (a.SketchPrecision < 4 || a.SketchPrecision > 18) {
+				return fmt.Errorf("scenario: app %d sketch_precision %d outside [4, 18]", i, a.SketchPrecision)
+			}
+		default:
+			return fmt.Errorf("scenario: app %d unknown analytics %q", i, a.Analytics)
 		}
 	}
 	for i, tr := range c.Traffic {

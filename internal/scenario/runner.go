@@ -11,6 +11,22 @@ import (
 	"mdn/internal/telemetry"
 )
 
+// orDefault substitutes def for an unset (zero) knob.
+func orDefault(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// sketchPrecision resolves an app's HyperLogLog precision knob.
+func sketchPrecision(ac AppConfig) uint8 {
+	if ac.SketchPrecision == 0 {
+		return DefaultSketchPrecision
+	}
+	return uint8(ac.SketchPrecision)
+}
+
 // Report is what a scenario run produces.
 type Report struct {
 	// Name echoes the scenario name.
@@ -193,8 +209,11 @@ func Run(c *Config) (*Report, error) {
 	switchFreqs := make(map[string][]float64)
 	hb := core.NewHeartbeat()
 	hbUsed := false
-	for _, ac := range c.Apps {
+	for appIdx, ac := range c.Apps {
 		voice := voices[ac.Switch]
+		// Per-app deterministic sketch seed: scenario seed plus the
+		// app's position, so two sketch apps never share hash streams.
+		sketchSeed := uint64(c.Seed)*0x9e3779b97f4a7c15 + uint64(appIdx) + 1
 		switch ac.Type {
 		case "heavyhitter":
 			hh, err := core.NewHeavyHitter(plan, ac.Switch, voice, ac.Buckets)
@@ -203,6 +222,15 @@ func Run(c *Config) (*Report, error) {
 			}
 			if ac.Threshold > 0 {
 				hh.Threshold = ac.Threshold
+			}
+			if ac.Analytics == "sketch" {
+				fc, err := core.NewSketchFlowCounter(
+					orDefault(ac.SketchEpsilon, DefaultSketchEpsilon),
+					orDefault(ac.SketchDelta, DefaultSketchDelta), sketchSeed)
+				if err != nil {
+					return nil, err
+				}
+				hh.SetFlowCounter(fc)
 			}
 			if err := mgr.Deploy(hh); err != nil {
 				return nil, err
@@ -218,6 +246,13 @@ func Run(c *Config) (*Report, error) {
 			}
 			if ac.Threshold > 0 {
 				ps.Threshold = ac.Threshold
+			}
+			if ac.Analytics == "sketch" {
+				dc, err := core.NewSketchDistinctCounter(sketchPrecision(ac), sketchSeed)
+				if err != nil {
+					return nil, err
+				}
+				ps.SetDistinctCounter(dc)
 			}
 			if err := mgr.Deploy(ps); err != nil {
 				return nil, err
@@ -251,6 +286,13 @@ func Run(c *Config) (*Report, error) {
 				netsim.MustAddr(ac.Watch), ac.Buckets, k)
 			if err != nil {
 				return nil, err
+			}
+			if ac.Analytics == "sketch" {
+				dc, err := core.NewSketchDistinctCounter(sketchPrecision(ac), sketchSeed)
+				if err != nil {
+					return nil, err
+				}
+				sd.SetDistinctCounter(dc)
 			}
 			if err := mgr.Deploy(sd); err != nil {
 				return nil, err

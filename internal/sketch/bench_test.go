@@ -1,0 +1,67 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSketchUpdate measures the per-key cost of each structure's
+// hot path over a pre-generated Zipf key stream. Every sub-benchmark
+// must report 0 allocs/op — CI gates on it.
+func BenchmarkSketchUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	z := rand.NewZipf(rng, 1.2, 1, 1<<20)
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = z.Uint64()
+	}
+	mask := len(keys) - 1
+
+	b.Run("cms", func(b *testing.B) {
+		c, _ := NewCountMin(0.001, 0.01, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Update(keys[i&mask], 1)
+		}
+	})
+	b.Run("cms-conservative", func(b *testing.B) {
+		c, _ := NewCountMin(0.001, 0.01, 1)
+		c.Conservative = true
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Update(keys[i&mask], 1)
+		}
+	})
+	b.Run("cms-estimate", func(b *testing.B) {
+		c, _ := NewCountMin(0.001, 0.01, 1)
+		for _, k := range keys {
+			c.Update(k, 1)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = c.Estimate(keys[i&mask])
+		}
+	})
+	b.Run("hll", func(b *testing.B) {
+		h, _ := NewHyperLogLog(14, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Add(keys[i&mask])
+		}
+	})
+	b.Run("topk", func(b *testing.B) {
+		tk, _ := NewTopK(1024)
+		for _, k := range keys {
+			tk.Update(k, 1)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tk.Update(keys[i&mask], 1)
+		}
+	})
+}

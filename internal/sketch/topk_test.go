@@ -1,0 +1,148 @@
+package sketch
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestTopKTracksExactWhenUnderCapacity(t *testing.T) {
+	tk, err := NewTopK(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		tk.Update(uint64(i), uint64(i+1))
+	}
+	for i := 0; i < 8; i++ {
+		count, errBound, ok := tk.Estimate(uint64(i))
+		if !ok || count != uint64(i+1) || errBound != 0 {
+			t.Fatalf("key %d: (%d, %d, %v)", i, count, errBound, ok)
+		}
+	}
+	if tk.MinCount() != 0 {
+		t.Fatalf("under capacity MinCount = %d", tk.MinCount())
+	}
+}
+
+// TestTopKSpaceSavingBounds checks the two-sided guarantee on a skewed
+// stream: tracked counts are upper bounds, Count-Err lower bounds, and
+// every true heavy hitter above the minimum tracked count is present.
+func TestTopKSpaceSavingBounds(t *testing.T) {
+	const k = 64
+	tk, _ := NewTopK(k)
+	exact := make(map[uint64]uint64)
+	stream := zipfStream(t, 23, 5000, 100000, 1.4)
+	for _, key := range stream {
+		tk.Update(key, 1)
+		exact[key]++
+	}
+	for _, it := range tk.Items() {
+		truth := exact[it.Key]
+		if it.Count < truth {
+			t.Fatalf("key %d: count %d < true %d", it.Key, it.Count, truth)
+		}
+		if it.Count-it.Err > truth {
+			t.Fatalf("key %d: guaranteed %d > true %d", it.Key, it.Count-it.Err, truth)
+		}
+	}
+	// Any key whose true count beats the tracked minimum must be in.
+	min := tk.MinCount()
+	for key, truth := range exact {
+		if truth > min {
+			if _, _, ok := tk.Estimate(key); !ok {
+				t.Fatalf("key %d (true %d > min %d) evicted", key, truth, min)
+			}
+		}
+	}
+}
+
+func TestTopKItemsDeterministicOrder(t *testing.T) {
+	tk, _ := NewTopK(8)
+	for _, k := range []uint64{5, 3, 9, 3, 5, 5, 7} {
+		tk.Update(k, 1)
+	}
+	items := tk.Items()
+	if !sort.SliceIsSorted(items, func(i, j int) bool {
+		if items[i].Count != items[j].Count {
+			return items[i].Count > items[j].Count
+		}
+		return items[i].Key < items[j].Key
+	}) {
+		t.Fatalf("items out of order: %+v", items)
+	}
+	if items[0].Key != 5 || items[0].Count != 3 {
+		t.Fatalf("head = %+v", items[0])
+	}
+}
+
+func TestTopKMergeKeepsBounds(t *testing.T) {
+	const k = 32
+	a, _ := NewTopK(k)
+	b, _ := NewTopK(k)
+	exact := make(map[uint64]uint64)
+	stream := zipfStream(t, 31, 2000, 60000, 1.3)
+	for i, key := range stream {
+		if i%2 == 0 {
+			a.Update(key, 1)
+		} else {
+			b.Update(key, 1)
+		}
+		exact[key]++
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != k {
+		t.Fatalf("merged len = %d", a.Len())
+	}
+	for _, it := range a.Items() {
+		truth := exact[it.Key]
+		if it.Count < truth {
+			t.Fatalf("merged key %d: count %d < true %d", it.Key, it.Count, truth)
+		}
+		if it.Err < it.Count-truth {
+			t.Fatalf("merged key %d: err %d does not cover overestimate %d",
+				it.Key, it.Err, it.Count-truth)
+		}
+	}
+}
+
+func TestTopKMergeRejectsMismatch(t *testing.T) {
+	a, _ := NewTopK(8)
+	b, _ := NewTopK(16)
+	if err := a.Merge(b); err != ErrShapeMismatch {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTopKResetReuses(t *testing.T) {
+	tk, _ := NewTopK(8)
+	for i := 0; i < 100; i++ {
+		tk.Update(uint64(i), 1)
+	}
+	tk.Reset()
+	if tk.Len() != 0 || tk.Updates() != 0 {
+		t.Fatal("reset left state")
+	}
+	tk.Update(4, 2)
+	if c, _, ok := tk.Estimate(4); !ok || c != 2 {
+		t.Fatalf("post-reset estimate = %d, %v", c, ok)
+	}
+}
+
+// TestTopKSteadyStateAllocs: once full, updates (hits and evictions)
+// touch only preallocated state.
+func TestTopKSteadyStateAllocs(t *testing.T) {
+	tk, _ := NewTopK(128)
+	for i := 0; i < 4096; i++ {
+		tk.Update(uint64(i), 1)
+	}
+	k := uint64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tk.Update(k%4096, 1) // mix of tracked hits and evictions
+		k += 13
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Update allocates %.1f/op", allocs)
+	}
+}

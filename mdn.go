@@ -9,6 +9,7 @@ import (
 	"mdn/internal/mp"
 	"mdn/internal/netsim"
 	"mdn/internal/openflow"
+	"mdn/internal/sketch"
 	"mdn/internal/telemetry"
 )
 
@@ -139,6 +140,28 @@ type (
 	// ModemFECRS is Reed-Solomon over GF(256) (corrects Parity/2
 	// corrupted bytes per block at any positions).
 	ModemFECRS = modem.FECRS
+	// CountMin is a count-min sketch with optional conservative
+	// update: frequency estimates within epsilon*N at confidence
+	// 1-delta in fixed memory.
+	CountMin = sketch.CountMin
+	// HyperLogLog estimates distinct counts in 2^precision registers.
+	HyperLogLog = sketch.HyperLogLog
+	// TopK is a space-saving heavy-hitter tracker over k entries.
+	TopK = sketch.TopK
+	// FlowCounter is the pluggable per-key frequency store behind
+	// HeavyHitter (exact map or count-min sketch).
+	FlowCounter = core.FlowCounter
+	// DistinctCounter is the pluggable distinct-key store behind
+	// PortScan and SpreadDetector (exact set or HyperLogLog).
+	DistinctCounter = core.DistinctCounter
+	// FlowSet paces many synthetic flows from one host through a
+	// single scheduler event (see netsim.StartFlowSet).
+	FlowSet = netsim.FlowSet
+	// FlowSetConfig parameterises a FlowSet: specs, window, seed,
+	// CBR-vs-Poisson pacing.
+	FlowSetConfig = netsim.FlowSetConfig
+	// FlowSpec is one synthetic flow: five-tuple, rate, packet size.
+	FlowSpec = netsim.FlowSpec
 	// Programmer installs flow rules with retry and idempotency.
 	Programmer = openflow.Programmer
 	// MetricsRegistry names and aggregates pipeline metrics.
@@ -337,6 +360,41 @@ func NewFleet(template *Detector, workers int) *Fleet {
 // attack threshold and the default release hysteresis.
 func NewEdgeDedup(n int, threshold float64) *EdgeDedup {
 	return core.NewEdgeDedup(n, threshold)
+}
+
+// NewCountMin builds a seeded count-min sketch with relative error
+// eps at confidence 1-delta (set Conservative for tighter estimates).
+func NewCountMin(eps, delta float64, seed uint64) (*CountMin, error) {
+	return sketch.NewCountMin(eps, delta, seed)
+}
+
+// NewHyperLogLog builds a seeded distinct counter with 2^p registers
+// (standard error ~1.04/sqrt(2^p)).
+func NewHyperLogLog(p uint8, seed uint64) (*HyperLogLog, error) {
+	return sketch.NewHyperLogLog(p, seed)
+}
+
+// NewTopK builds a space-saving top-k tracker over k entries.
+func NewTopK(k int) (*TopK, error) { return sketch.NewTopK(k) }
+
+// NewSketchFlowCounter builds a count-min-backed FlowCounter; install
+// it with HeavyHitter.SetFlowCounter to bound analytics state.
+func NewSketchFlowCounter(epsilon, delta float64, seed uint64) (FlowCounter, error) {
+	return core.NewSketchFlowCounter(epsilon, delta, seed)
+}
+
+// NewSketchDistinctCounter builds an HLL-backed DistinctCounter;
+// install it with PortScan.SetDistinctCounter or
+// SpreadDetector.SetDistinctCounter.
+func NewSketchDistinctCounter(precision uint8, seed uint64) (DistinctCounter, error) {
+	return core.NewSketchDistinctCounter(precision, seed)
+}
+
+// StartFlowSet launches a batched synthetic-traffic source on a host:
+// all flows pace through one scheduler event (see also
+// Sim.EnablePacketPool for an allocation-free packet path).
+func StartFlowSet(sim *netsim.Sim, h *netsim.Host, cfg FlowSetConfig) *FlowSet {
+	return netsim.StartFlowSet(sim, h, cfg)
 }
 
 // DefaultModemConfig returns the default acoustic-data-channel
